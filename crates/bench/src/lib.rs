@@ -1,0 +1,7 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! - `experiments` — one Criterion group per paper table/figure, measuring
+//!   the pipeline that regenerates it;
+//! - `substrate` — VM, analyzer and simulator micro-benchmarks;
+//! - `ablation` — cost/quality trade-offs for the design choices listed in
+//!   DESIGN.md (PPM order, ILP windows, GA hyperparameters, k-means).

@@ -1,0 +1,191 @@
+//! Register-traffic characterization (metrics 11–19).
+
+use tinyisa::{DynInst, TraceSink};
+
+/// The dependency-distance thresholds of Table II (metrics 13–19). The
+/// distribution is cumulative: `P[distance <= k]`.
+pub const DEP_DIST_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+
+/// Measures register traffic (Franklin & Sohi style):
+///
+/// - **average number of input operands** per instruction (metric 11),
+/// - **average degree of use**: how many times a register instance is read
+///   between its production and the next write of the same register
+///   (metric 12),
+/// - the cumulative **register dependency distance** distribution — the
+///   number of dynamic instructions between a register write and a read of
+///   it (metrics 13–19).
+#[derive(Debug, Clone)]
+pub struct RegTraffic {
+    /// Dynamic instruction index of each unified register's last producer,
+    /// or `u64::MAX` when never written.
+    producer: [u64; 64],
+    index: u64,
+    operand_count: u64,
+    reg_reads: u64,
+    reg_writes: u64,
+    /// `dist_buckets[i]` counts reads with distance <= DEP_DIST_BUCKETS[i]
+    /// (cumulative, so a distance of 1 increments every bucket).
+    dist_buckets: [u64; 7],
+    dist_total: u64,
+}
+
+impl Default for RegTraffic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegTraffic {
+    /// Create an empty analyzer.
+    pub fn new() -> Self {
+        RegTraffic {
+            producer: [u64::MAX; 64],
+            index: 0,
+            operand_count: 0,
+            reg_reads: 0,
+            reg_writes: 0,
+            dist_buckets: [0; 7],
+            dist_total: 0,
+        }
+    }
+
+    /// Metric 11: mean register input operands per instruction.
+    pub fn avg_input_operands(&self) -> f64 {
+        if self.index == 0 {
+            0.0
+        } else {
+            self.operand_count as f64 / self.index as f64
+        }
+    }
+
+    /// Metric 12: mean reads per register write (degree of use).
+    pub fn avg_degree_of_use(&self) -> f64 {
+        if self.reg_writes == 0 {
+            0.0
+        } else {
+            self.reg_reads as f64 / self.reg_writes as f64
+        }
+    }
+
+    /// Metrics 13–19: `P[dependency distance <= k]` for
+    /// `DEP_DIST_BUCKETS` (1, 2, 4, 8, 16, 32, 64).
+    pub fn dependency_distance_cdf(&self) -> [f64; 7] {
+        if self.dist_total == 0 {
+            return [0.0; 7];
+        }
+        let t = self.dist_total as f64;
+        let mut out = [0.0; 7];
+        for (o, &c) in out.iter_mut().zip(&self.dist_buckets) {
+            *o = c as f64 / t;
+        }
+        out
+    }
+}
+
+impl TraceSink for RegTraffic {
+    fn retire(&mut self, inst: &DynInst) {
+        self.index += 1;
+        for s in inst.sources() {
+            self.operand_count += 1;
+            self.reg_reads += 1;
+            let prod = self.producer[s.unified()];
+            if prod != u64::MAX {
+                // Distance in dynamic instructions between producer and
+                // consumer; adjacent instructions have distance 1.
+                let dist = self.index - 1 - prod;
+                self.dist_total += 1;
+                for (b, &threshold) in self.dist_buckets.iter_mut().zip(&DEP_DIST_BUCKETS) {
+                    if dist <= threshold {
+                        *b += 1;
+                    }
+                }
+            }
+        }
+        if let Some(d) = inst.dst {
+            self.reg_writes += 1;
+            self.producer[d.unified()] = self.index - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::{InstClass, RegRef};
+
+    fn inst(dst: Option<u8>, srcs: &[u8]) -> DynInst {
+        let mut s = [None; 3];
+        for (i, &r) in srcs.iter().enumerate() {
+            s[i] = Some(RegRef::Int(r));
+        }
+        DynInst {
+            pc: 0,
+            class: InstClass::IntAlu,
+            dst: dst.map(RegRef::Int),
+            srcs: s,
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let r = RegTraffic::new();
+        assert_eq!(r.avg_input_operands(), 0.0);
+        assert_eq!(r.avg_degree_of_use(), 0.0);
+        assert_eq!(r.dependency_distance_cdf(), [0.0; 7]);
+    }
+
+    #[test]
+    fn avg_inputs_counts_all_instructions() {
+        let mut r = RegTraffic::new();
+        r.retire(&inst(Some(1), &[])); // 0 operands
+        r.retire(&inst(Some(2), &[1, 1])); // 2 operands
+        assert_eq!(r.avg_input_operands(), 1.0);
+    }
+
+    #[test]
+    fn degree_of_use_is_reads_per_write() {
+        let mut r = RegTraffic::new();
+        r.retire(&inst(Some(1), &[])); // write r1
+        r.retire(&inst(Some(2), &[1])); // read r1, write r2
+        r.retire(&inst(Some(3), &[1, 2])); // read r1, r2, write r3
+        // 3 reads, 3 writes
+        assert_eq!(r.avg_degree_of_use(), 1.0);
+    }
+
+    #[test]
+    fn adjacent_dependence_has_distance_one() {
+        let mut r = RegTraffic::new();
+        r.retire(&inst(Some(1), &[]));
+        r.retire(&inst(Some(2), &[1])); // distance 1
+        let cdf = r.dependency_distance_cdf();
+        assert_eq!(cdf, [1.0; 7]); // a distance-1 read is within all buckets
+    }
+
+    #[test]
+    fn distance_buckets_are_cumulative_and_monotone() {
+        let mut r = RegTraffic::new();
+        r.retire(&inst(Some(1), &[])); // producer at index 0
+        for _ in 0..9 {
+            r.retire(&inst(Some(2), &[])); // 9 fillers
+        }
+        r.retire(&inst(Some(3), &[1])); // distance 10: in <=16, <=32, <=64 only
+        let cdf = r.dependency_distance_cdf();
+        assert_eq!(cdf[..4], [0.0; 4]); // <=1,2,4,8
+        assert_eq!(cdf[4..], [1.0; 3]); // <=16,32,64
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn reads_before_any_write_are_not_counted_as_dependences() {
+        let mut r = RegTraffic::new();
+        r.retire(&inst(Some(2), &[7])); // r7 never produced
+        assert_eq!(r.dependency_distance_cdf(), [0.0; 7]);
+        assert_eq!(r.avg_input_operands(), 1.0); // still an operand
+    }
+}

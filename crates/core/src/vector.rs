@@ -1,0 +1,229 @@
+//! The metric registry and the characterization vector type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Number of microarchitecture-independent characteristics (Table II).
+pub const NUM_METRICS: usize = 47;
+
+/// Identifier of one of the 47 characteristics; indexes [`METRICS`] and
+/// [`MicaVector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetricId(pub usize);
+
+impl MetricId {
+    /// Static metadata for this metric.
+    pub fn info(self) -> &'static MetricInfo {
+        &METRICS[self.0]
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+/// The six metric categories of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    InstructionMix,
+    Ilp,
+    RegisterTraffic,
+    WorkingSet,
+    DataStreamStrides,
+    BranchPredictability,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::InstructionMix => "instruction mix",
+            Category::Ilp => "ILP",
+            Category::RegisterTraffic => "register traffic",
+            Category::WorkingSet => "working set size",
+            Category::DataStreamStrides => "data stream strides",
+            Category::BranchPredictability => "branch predictability",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one characteristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricInfo {
+    /// 1-based number as in Table II of the paper.
+    pub number: usize,
+    /// Human-readable name (mirrors Table II).
+    pub name: &'static str,
+    /// Short identifier suitable for CSV headers and axis labels.
+    pub short: &'static str,
+    /// Category this metric belongs to.
+    pub category: Category,
+}
+
+macro_rules! metric_table {
+    ($(($num:expr, $name:expr, $short:expr, $cat:ident)),+ $(,)?) => {
+        [$(MetricInfo {
+            number: $num,
+            name: $name,
+            short: $short,
+            category: Category::$cat,
+        }),+]
+    };
+}
+
+/// All 47 characteristics in Table II order (index = `MetricId.0`,
+/// `number` = the paper's 1-based numbering).
+pub const METRICS: [MetricInfo; NUM_METRICS] = metric_table![
+    (1, "percentage loads", "pct_loads", InstructionMix),
+    (2, "percentage stores", "pct_stores", InstructionMix),
+    (3, "percentage control transfers", "pct_control", InstructionMix),
+    (4, "percentage arithmetic operations", "pct_arith", InstructionMix),
+    (5, "percentage integer multiplies", "pct_int_mul", InstructionMix),
+    (6, "percentage fp operations", "pct_fp", InstructionMix),
+    (7, "ILP, 32-entry window", "ilp_32", Ilp),
+    (8, "ILP, 64-entry window", "ilp_64", Ilp),
+    (9, "ILP, 128-entry window", "ilp_128", Ilp),
+    (10, "ILP, 256-entry window", "ilp_256", Ilp),
+    (11, "avg. number of input operands", "avg_inputs", RegisterTraffic),
+    (12, "avg. degree of use", "avg_use", RegisterTraffic),
+    (13, "prob. register dependence = 1", "dep_le_1", RegisterTraffic),
+    (14, "prob. register dependence <= 2", "dep_le_2", RegisterTraffic),
+    (15, "prob. register dependence <= 4", "dep_le_4", RegisterTraffic),
+    (16, "prob. register dependence <= 8", "dep_le_8", RegisterTraffic),
+    (17, "prob. register dependence <= 16", "dep_le_16", RegisterTraffic),
+    (18, "prob. register dependence <= 32", "dep_le_32", RegisterTraffic),
+    (19, "prob. register dependence <= 64", "dep_le_64", RegisterTraffic),
+    (20, "D-stream at the 32B block level", "d_wss_blk", WorkingSet),
+    (21, "D-stream at the 4KB-page level", "d_wss_pg", WorkingSet),
+    (22, "I-stream at the 32B block level", "i_wss_blk", WorkingSet),
+    (23, "I-stream at the 4KB page level", "i_wss_pg", WorkingSet),
+    (24, "prob. local load stride = 0", "lls_0", DataStreamStrides),
+    (25, "prob. local load stride <= 8", "lls_8", DataStreamStrides),
+    (26, "prob. local load stride <= 64", "lls_64", DataStreamStrides),
+    (27, "prob. local load stride <= 512", "lls_512", DataStreamStrides),
+    (28, "prob. local load stride <= 4096", "lls_4096", DataStreamStrides),
+    (29, "prob. global load stride = 0", "gls_0", DataStreamStrides),
+    (30, "prob. global load stride <= 8", "gls_8", DataStreamStrides),
+    (31, "prob. global load stride <= 64", "gls_64", DataStreamStrides),
+    (32, "prob. global load stride <= 512", "gls_512", DataStreamStrides),
+    (33, "prob. global load stride <= 4096", "gls_4096", DataStreamStrides),
+    (34, "prob. local store stride = 0", "lss_0", DataStreamStrides),
+    (35, "prob. local store stride <= 8", "lss_8", DataStreamStrides),
+    (36, "prob. local store stride <= 64", "lss_64", DataStreamStrides),
+    (37, "prob. local store stride <= 512", "lss_512", DataStreamStrides),
+    (38, "prob. local store stride <= 4096", "lss_4096", DataStreamStrides),
+    (39, "prob. global store stride = 0", "gss_0", DataStreamStrides),
+    (40, "prob. global store stride <= 8", "gss_8", DataStreamStrides),
+    (41, "prob. global store stride <= 64", "gss_64", DataStreamStrides),
+    (42, "prob. global store stride <= 512", "gss_512", DataStreamStrides),
+    (43, "prob. global store stride <= 4096", "gss_4096", DataStreamStrides),
+    (44, "GAg PPM predictor", "ppm_gag", BranchPredictability),
+    (45, "PAg PPM predictor", "ppm_pag", BranchPredictability),
+    (46, "GAs PPM predictor", "ppm_gas", BranchPredictability),
+    (47, "PAs PPM predictor", "ppm_pas", BranchPredictability),
+];
+
+/// A complete 47-dimensional microarchitecture-independent characterization
+/// of one benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicaVector {
+    values: Vec<f64>,
+}
+
+impl MicaVector {
+    /// Wrap a raw 47-element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != NUM_METRICS`.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), NUM_METRICS, "MicaVector needs {NUM_METRICS} values");
+        MicaVector { values }
+    }
+
+    /// The raw values, in Table II order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of one metric.
+    pub fn get(&self, id: MetricId) -> f64 {
+        self.values[id.0]
+    }
+
+    /// Extract the values of a metric subset, preserving `subset` order.
+    pub fn project(&self, subset: &[MetricId]) -> Vec<f64> {
+        subset.iter().map(|m| self.values[m.0]).collect()
+    }
+
+    /// Consume into the raw vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl Index<MetricId> for MicaVector {
+    type Output = f64;
+
+    fn index(&self, id: MetricId) -> &f64 {
+        &self.values[id.0]
+    }
+}
+
+impl fmt::Display for MicaVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (info, v) in METRICS.iter().zip(&self.values) {
+            writeln!(f, "{:>2}. {:<40} {v:.6}", info.number, info.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_47_entries_in_order() {
+        assert_eq!(METRICS.len(), 47);
+        for (i, info) in METRICS.iter().enumerate() {
+            assert_eq!(info.number, i + 1);
+        }
+    }
+
+    #[test]
+    fn category_counts_match_table_ii() {
+        let count = |c: Category| METRICS.iter().filter(|m| m.category == c).count();
+        assert_eq!(count(Category::InstructionMix), 6);
+        assert_eq!(count(Category::Ilp), 4);
+        assert_eq!(count(Category::RegisterTraffic), 9);
+        assert_eq!(count(Category::WorkingSet), 4);
+        assert_eq!(count(Category::DataStreamStrides), 20);
+        assert_eq!(count(Category::BranchPredictability), 4);
+    }
+
+    #[test]
+    fn shorts_are_unique() {
+        let mut shorts: Vec<_> = METRICS.iter().map(|m| m.short).collect();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(shorts.len(), 47);
+    }
+
+    #[test]
+    fn vector_access_and_projection() {
+        let v = MicaVector::new((0..47).map(|i| i as f64).collect());
+        assert_eq!(v.get(MetricId(5)), 5.0);
+        assert_eq!(v[MetricId(46)], 46.0);
+        assert_eq!(v.project(&[MetricId(3), MetricId(1)]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "47")]
+    fn wrong_length_panics() {
+        let _ = MicaVector::new(vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Shared analysis helpers used by the experiment binaries.
+
+use crate::results::ProfileSet;
+use mica_core::METRICS;
+use mica_stats::{pairwise_distances, zscore_normalize, CondensedDistances, DataSet};
+
+/// The 122 x 47 microarchitecture-independent data set (raw values).
+pub fn mica_dataset(set: &ProfileSet) -> DataSet {
+    DataSet::from_rows(set.records.iter().map(|r| r.mica.values().to_vec()).collect())
+}
+
+/// The 122 x 7 hardware-performance-counter data set (raw values).
+pub fn hpc_dataset(set: &ProfileSet) -> DataSet {
+    DataSet::from_rows(set.records.iter().map(|r| r.hpc.counter_vector()).collect())
+}
+
+/// Pairwise distances in both z-scored workload spaces:
+/// `(mica_distances, hpc_distances)` — the Section IV construction.
+pub fn workload_distances(set: &ProfileSet) -> (CondensedDistances, CondensedDistances) {
+    let mica = pairwise_distances(&zscore_normalize(&mica_dataset(set)));
+    let hpc = pairwise_distances(&zscore_normalize(&hpc_dataset(set)));
+    (mica, hpc)
+}
+
+/// Per-characteristic max-normalization for the Figure 2/3 case-study bar
+/// charts: each value is divided by the maximum observed for that
+/// characteristic across all benchmarks (the paper's normalization for
+/// those figures).
+pub fn max_normalize_columns(ds: &DataSet) -> DataSet {
+    let mut out = ds.clone();
+    for c in 0..ds.cols() {
+        let max = (0..ds.rows()).map(|r| ds.get(r, c).abs()).fold(0.0f64, f64::max);
+        for r in 0..ds.rows() {
+            let v = if max > 0.0 { ds.get(r, c) / max } else { 0.0 };
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+/// Short axis labels for the eight characteristics used in kiviat plots.
+pub fn metric_short_names(indices: &[usize]) -> Vec<String> {
+    indices.iter().map(|&i| METRICS[i].short.to_string()).collect()
+}
+
+/// Scale each selected column of `ds` into `[0, 1]` by min-max over rows
+/// (for kiviat axes).
+pub fn minmax_normalize_columns(ds: &DataSet) -> DataSet {
+    let mut out = ds.clone();
+    for c in 0..ds.cols() {
+        let col = ds.column(c);
+        let min = col.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        for r in 0..ds.rows() {
+            let v = if span > 0.0 { (ds.get(r, c) - min) / span } else { 0.5 };
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::BenchRecord;
+    use mica_core::{MicaVector, NUM_METRICS};
+    use uarch_sim::HpcProfile;
+
+    fn fake_set(n: usize) -> ProfileSet {
+        let records = (0..n)
+            .map(|i| BenchRecord {
+                name: format!("s/p{i}/in"),
+                suite: "s".into(),
+                program: format!("p{i}"),
+                input: "in".into(),
+                paper_icount_millions: 1,
+                executed_instructions: 1,
+                mica: MicaVector::new((0..NUM_METRICS).map(|m| (i * m) as f64).collect()),
+                hpc: HpcProfile {
+                    ipc_ev56: i as f64,
+                    branch_mispredict_rate: 0.0,
+                    l1d_miss_rate: 0.1,
+                    l1i_miss_rate: 0.0,
+                    l2_miss_rate: 0.0,
+                    dtlb_miss_rate: 0.0,
+                    ipc_ev67: 2.0 * i as f64,
+                    mix: [0.0; 6],
+                    instructions: 1,
+                },
+            })
+            .collect();
+        ProfileSet { scale: 1.0, records }
+    }
+
+    #[test]
+    fn datasets_have_expected_shapes() {
+        let set = fake_set(5);
+        assert_eq!((mica_dataset(&set).rows(), mica_dataset(&set).cols()), (5, 47));
+        assert_eq!((hpc_dataset(&set).rows(), hpc_dataset(&set).cols()), (5, 7));
+        let (m, h) = workload_distances(&set);
+        assert_eq!(m.len(), 10);
+        assert_eq!(h.len(), 10);
+    }
+
+    #[test]
+    fn max_normalize_bounds_values() {
+        let set = fake_set(4);
+        let n = max_normalize_columns(&mica_dataset(&set));
+        for r in 0..n.rows() {
+            for c in 0..n.cols() {
+                assert!(n.get(r, c).abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_normalize_hits_zero_and_one() {
+        let ds = DataSet::from_rows(vec![vec![2.0], vec![4.0], vec![6.0]]);
+        let n = minmax_normalize_columns(&ds);
+        assert_eq!(n.get(0, 0), 0.0);
+        assert_eq!(n.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn short_names_follow_indices() {
+        let names = metric_short_names(&[0, 46]);
+        assert_eq!(names, vec!["pct_loads".to_string(), "ppm_pas".to_string()]);
+    }
+}

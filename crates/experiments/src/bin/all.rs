@@ -1,0 +1,18 @@
+//! Run every experiment in sequence: profiling (cached), then Table I,
+//! Figure 1, Table III, Figures 2/3, Figure 4, Figure 5, Table IV and
+//! Figure 6. Equivalent to running each binary individually.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["table1", "fig1", "table3", "fig2_fig3", "fig4", "fig5", "table4", "fig6"] {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("cannot launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments completed; artifacts are in the results directory");
+}

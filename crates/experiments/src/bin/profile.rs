@@ -1,0 +1,17 @@
+//! Profile all 122 benchmarks (ignoring any cache) and write
+//! `results/profiles.json`.
+
+use mica_experiments::{profile::profile_all, results_dir, scale};
+
+fn main() {
+    let set = profile_all(scale()).unwrap_or_else(|e| {
+        eprintln!("profiling failed: {e}");
+        std::process::exit(1);
+    });
+    let path = results_dir().join("profiles.json");
+    set.save(&path).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!("profiled {} benchmarks -> {}", set.records.len(), path.display());
+}

@@ -1,0 +1,36 @@
+//! Table I: the 122 benchmarks with their inputs and dynamic instruction
+//! counts — the paper's counts alongside this reproduction's scaled runs.
+
+use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
+use mica_experiments::results::write_csv;
+
+fn main() {
+    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
+        .expect("profiling succeeds");
+
+    println!("Table I — benchmarks, inputs and dynamic instruction counts");
+    println!(
+        "{:<20} {:<12} {:<22} {:>14} {:>14}",
+        "suite", "program", "input", "paper I-cnt (M)", "executed (insts)"
+    );
+    let mut rows = Vec::new();
+    let mut current_suite = String::new();
+    for r in &set.records {
+        if r.suite != current_suite {
+            println!("--- {} ---", r.suite);
+            current_suite = r.suite.clone();
+        }
+        println!(
+            "{:<20} {:<12} {:<22} {:>14} {:>14}",
+            r.suite, r.program, r.input, r.paper_icount_millions, r.executed_instructions
+        );
+        rows.push(format!(
+            "{},{},{},{},{}",
+            r.suite, r.program, r.input, r.paper_icount_millions, r.executed_instructions
+        ));
+    }
+    let csv = results_dir().join("table1.csv");
+    write_csv(&csv, "suite,program,input,paper_icount_millions,executed_instructions", &rows)
+        .expect("csv writes");
+    println!("\n{} benchmarks -> {}", set.records.len(), csv.display());
+}

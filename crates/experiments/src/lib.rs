@@ -1,0 +1,30 @@
+//! Regeneration pipelines for every table and figure of the paper.
+//!
+//! The expensive step — running all 122 benchmarks through both the
+//! microarchitecture-independent characterization and the simulated
+//! hardware-performance-counter profiling — is done once by
+//! [`profile::load_or_profile_all`] and cached as JSON; each experiment
+//! binary (`table1`, `fig1`, `table3`, `fig2_fig3`, `fig4`, `fig5`,
+//! `table4`, `fig6`) then reads the cache and prints/plots its result.
+//!
+//! Environment knobs:
+//!
+//! - `MICA_SCALE` — float multiplier on every benchmark's instruction
+//!   budget (default 1.0);
+//! - `MICA_RESULTS_DIR` — output directory (default `results`).
+
+pub mod analysis;
+pub mod profile;
+pub mod results;
+
+use std::path::PathBuf;
+
+/// The results directory (`MICA_RESULTS_DIR`, default `results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MICA_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|| "results".into())
+}
+
+/// The instruction-budget multiplier (`MICA_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("MICA_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}

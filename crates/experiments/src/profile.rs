@@ -1,0 +1,190 @@
+//! Profiling: run benchmarks through both characterizations.
+
+use crate::results::{BenchRecord, ProfileSet};
+use mica_core::{CharacterizationSuite, MicaVector};
+use mica_workloads::{benchmark_table, BenchmarkSpec};
+use std::fmt;
+use std::path::Path;
+use tinyisa::{AsmError, DynInst, TraceSink, VmError};
+use uarch_sim::{HpcProfile, HpcSimulator};
+
+/// Errors while profiling a benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The kernel failed to assemble (a bug in the kernel builder).
+    Assemble(AsmError),
+    /// The kernel faulted at runtime (a bug in the kernel code).
+    Runtime(VmError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Assemble(e) => write!(f, "kernel failed to assemble: {e}"),
+            ProfileError::Runtime(e) => write!(f, "kernel faulted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<AsmError> for ProfileError {
+    fn from(e: AsmError) -> Self {
+        ProfileError::Assemble(e)
+    }
+}
+
+impl From<VmError> for ProfileError {
+    fn from(e: VmError) -> Self {
+        ProfileError::Runtime(e)
+    }
+}
+
+/// Fan one trace out to both the MICA suite and the HPC simulator, so one
+/// VM run produces both characterizations of identical dynamic behavior.
+struct Tandem<'a> {
+    mica: &'a mut CharacterizationSuite,
+    hpc: &'a mut HpcSimulator,
+}
+
+impl TraceSink for Tandem<'_> {
+    fn retire(&mut self, inst: &DynInst) {
+        self.mica.retire(inst);
+        self.hpc.retire(inst);
+    }
+}
+
+/// Run one benchmark for `budget` instructions and return only its
+/// microarchitecture-independent characterization.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn characterize(spec: &BenchmarkSpec, budget: u64) -> Result<MicaVector, ProfileError> {
+    let mut vm = spec.build_vm()?;
+    let mut suite = CharacterizationSuite::new();
+    vm.run(&mut suite, budget)?;
+    Ok(suite.finish())
+}
+
+/// Run one benchmark for `budget` instructions and return only its
+/// simulated hardware-counter profile.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn profile_hpc(spec: &BenchmarkSpec, budget: u64) -> Result<HpcProfile, ProfileError> {
+    let mut vm = spec.build_vm()?;
+    let mut sim = HpcSimulator::new();
+    vm.run(&mut sim, budget)?;
+    Ok(sim.finish())
+}
+
+/// Run one benchmark once, producing both characterizations from the same
+/// dynamic instruction stream.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn profile_benchmark(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecord, ProfileError> {
+    let mut vm = spec.build_vm()?;
+    let mut mica = CharacterizationSuite::new();
+    let mut hpc = HpcSimulator::new();
+    vm.run(&mut Tandem { mica: &mut mica, hpc: &mut hpc }, budget)?;
+    Ok(BenchRecord {
+        name: spec.name(),
+        suite: spec.suite.to_string(),
+        program: spec.program.to_string(),
+        input: spec.input.to_string(),
+        paper_icount_millions: spec.paper_icount_millions,
+        executed_instructions: mica.total_instructions(),
+        mica: mica.finish(),
+        hpc: hpc.finish(),
+    })
+}
+
+/// Profile all 122 benchmarks at budget multiplier `scale`, logging
+/// progress to stderr.
+///
+/// # Errors
+///
+/// Fails on the first benchmark that cannot be profiled (all are expected
+/// to succeed; failure indicates a kernel bug).
+pub fn profile_all(scale: f64) -> Result<ProfileSet, ProfileError> {
+    let table = benchmark_table();
+    let mut records = Vec::with_capacity(table.len());
+    for (i, spec) in table.iter().enumerate() {
+        let budget = ((spec.instruction_budget() as f64) * scale).max(10_000.0) as u64;
+        eprintln!("[{:3}/{}] {} ({} insts)", i + 1, table.len(), spec.name(), budget);
+        records.push(profile_benchmark(spec, budget)?);
+    }
+    Ok(ProfileSet { scale, records })
+}
+
+/// Load cached profiles from `path` if they exist at the requested scale;
+/// otherwise profile everything and cache the result.
+///
+/// # Errors
+///
+/// Propagates profiling errors; cache I/O problems fall back to
+/// re-profiling, and a failure to *write* the cache is reported on stderr
+/// but does not fail the run.
+pub fn load_or_profile_all(path: &Path, scale: f64) -> Result<ProfileSet, ProfileError> {
+    if let Ok(set) = ProfileSet::load(path) {
+        if (set.scale - scale).abs() < 1e-12 && set.records.len() == benchmark_table().len() {
+            eprintln!("loaded {} cached profiles from {}", set.records.len(), path.display());
+            return Ok(set);
+        }
+        eprintln!("cache at {} is stale (scale or size mismatch); re-profiling", path.display());
+    }
+    let set = profile_all(scale)?;
+    if let Err(e) = set.save(path) {
+        eprintln!("warning: could not write profile cache {}: {e}", path.display());
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mica_core::NUM_METRICS;
+
+    fn spec(program: &str) -> BenchmarkSpec {
+        benchmark_table().into_iter().find(|b| b.program == program).expect("benchmark exists")
+    }
+
+    #[test]
+    fn characterize_produces_full_vector() {
+        let v = characterize(&spec("CRC32"), 30_000).unwrap();
+        assert_eq!(v.values().len(), NUM_METRICS);
+        assert!(v.values().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn hpc_profile_is_sane() {
+        let p = profile_hpc(&spec("sha"), 30_000).unwrap();
+        assert!(p.ipc_ev56 > 0.0 && p.ipc_ev56 <= 2.0);
+        assert!(p.ipc_ev67 > 0.0 && p.ipc_ev67 <= 4.0);
+        assert_eq!(p.instructions, 30_000);
+    }
+
+    #[test]
+    fn tandem_matches_individual_runs() {
+        let s = spec("bitcount");
+        let rec = profile_benchmark(&s, 20_000).unwrap();
+        let mica = characterize(&s, 20_000).unwrap();
+        let hpc = profile_hpc(&s, 20_000).unwrap();
+        assert_eq!(rec.mica, mica, "same trace, same characterization");
+        assert_eq!(rec.hpc, hpc);
+        assert_eq!(rec.executed_instructions, 20_000);
+    }
+
+    #[test]
+    fn distinct_benchmarks_have_distinct_signatures() {
+        let a = characterize(&spec("sha"), 30_000).unwrap();
+        let b = characterize(&spec("mcf"), 30_000).unwrap();
+        let diff: f64 =
+            a.values().iter().zip(b.values()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "sha and mcf must not look alike (diff {diff})");
+    }
+}

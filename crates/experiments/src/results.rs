@@ -1,0 +1,152 @@
+//! Profiling records and their JSON persistence.
+
+use mica_core::MicaVector;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+use uarch_sim::HpcProfile;
+
+/// The complete profile of one benchmark instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// `suite/program/input` identifier.
+    pub name: String,
+    /// Suite display name.
+    pub suite: String,
+    /// Program name.
+    pub program: String,
+    /// Input name.
+    pub input: String,
+    /// The paper's dynamic instruction count, in millions.
+    pub paper_icount_millions: u64,
+    /// Instructions actually executed by this reproduction.
+    pub executed_instructions: u64,
+    /// The 47 microarchitecture-independent characteristics.
+    pub mica: MicaVector,
+    /// The simulated hardware-counter profile.
+    pub hpc: HpcProfile,
+}
+
+/// All 122 profiles plus provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSet {
+    /// The `MICA_SCALE` the profiles were collected at.
+    pub scale: f64,
+    /// One record per benchmark, in Table I order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl ProfileSet {
+    /// Save as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; serialization of these types cannot
+    /// fail.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string(self).expect("ProfileSet serializes");
+        fs::write(path, json)
+    }
+
+    /// Load from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is missing or not a valid `ProfileSet`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Find a record by program name (first match) or full name.
+    pub fn find(&self, needle: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.name == needle || r.program == needle)
+    }
+}
+
+/// Write a CSV file (header + rows) under the results directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// Write a text artifact (e.g. an SVG) under the results directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_text(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mica_core::NUM_METRICS;
+
+    fn record(name: &str) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            suite: "MiBench".into(),
+            program: name.into(),
+            input: "large".into(),
+            paper_icount_millions: 10,
+            executed_instructions: 1000,
+            mica: MicaVector::new(vec![0.5; NUM_METRICS]),
+            hpc: uarch_sim::HpcProfile {
+                ipc_ev56: 1.0,
+                branch_mispredict_rate: 0.02,
+                l1d_miss_rate: 0.1,
+                l1i_miss_rate: 0.0,
+                l2_miss_rate: 0.3,
+                dtlb_miss_rate: 0.01,
+                ipc_ev67: 2.0,
+                mix: [0.2, 0.1, 0.2, 0.4, 0.05, 0.05],
+                instructions: 1000,
+            },
+        }
+    }
+
+    #[test]
+    fn profile_set_round_trips() {
+        let dir = std::env::temp_dir().join("mica_results_test");
+        let path = dir.join("profiles.json");
+        let set = ProfileSet { scale: 1.0, records: vec![record("a"), record("b")] };
+        set.save(&path).unwrap();
+        let loaded = ProfileSet::load(&path).unwrap();
+        assert_eq!(set, loaded);
+        assert!(loaded.find("a").is_some());
+        assert!(loaded.find("missing").is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn csv_writer_emits_header_and_rows() {
+        let dir = std::env::temp_dir().join("mica_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, "a,b", &["1,2".into(), "3,4".into()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,230 @@
+//! A small dense row-major matrix: benchmarks × metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A benchmarks × metrics matrix (row per benchmark, column per metric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSet {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DataSet {
+    /// Build from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or there are no rows.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "data set needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "data set needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        DataSet { rows: rows.len(), cols, data }
+    }
+
+    /// A zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        DataSet { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows (benchmarks).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (metrics).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read one cell.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Write one cell.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One column, copied out.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// A new data set containing only the given columns, in `keep` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or contains an out-of-range index.
+    pub fn select_columns(&self, keep: &[usize]) -> DataSet {
+        assert!(!keep.is_empty(), "must keep at least one column");
+        let mut out = DataSet::zeros(self.rows, keep.len());
+        for r in 0..self.rows {
+            for (j, &c) in keep.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trip() {
+        let ds = DataSet::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((ds.rows(), ds.cols()), (2, 2));
+        assert_eq!(ds.get(1, 0), 3.0);
+        assert_eq!(ds.row(0), &[1.0, 2.0]);
+        assert_eq!(ds.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn select_columns_preserves_order() {
+        let ds = DataSet::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = ds.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_rejected() {
+        let _ = DataSet::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}
+
+/// Error parsing a [`DataSet`] from CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDataSetError {
+    /// The text had no data rows.
+    Empty,
+    /// A row had a different number of fields than the header.
+    RaggedRow { row: usize, expected: usize, found: usize },
+    /// A field failed to parse as a number.
+    BadNumber { row: usize, col: usize },
+}
+
+impl std::fmt::Display for ParseDataSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDataSetError::Empty => write!(f, "no data rows"),
+            ParseDataSetError::RaggedRow { row, expected, found } => {
+                write!(f, "row {row} has {found} fields, expected {expected}")
+            }
+            ParseDataSetError::BadNumber { row, col } => {
+                write!(f, "row {row}, column {col} is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDataSetError {}
+
+impl DataSet {
+    /// Render as CSV with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` length does not match the column count.
+    pub fn to_csv(&self, header: &[String]) -> String {
+        assert_eq!(header.len(), self.cols, "one header per column");
+        let mut out = header.join(",");
+        out.push('\n');
+        for r in 0..self.rows {
+            let fields: Vec<String> = self.row(r).iter().map(|v| format!("{v}")).collect();
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a CSV with a header line; returns `(headers, data)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseDataSetError`].
+    pub fn from_csv(text: &str) -> Result<(Vec<String>, DataSet), ParseDataSetError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header: Vec<String> = lines
+            .next()
+            .ok_or(ParseDataSetError::Empty)?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        let mut rows = Vec::new();
+        for (r, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != header.len() {
+                return Err(ParseDataSetError::RaggedRow {
+                    row: r,
+                    expected: header.len(),
+                    found: fields.len(),
+                });
+            }
+            let mut row = Vec::with_capacity(fields.len());
+            for (c, f) in fields.iter().enumerate() {
+                row.push(
+                    f.trim()
+                        .parse::<f64>()
+                        .map_err(|_| ParseDataSetError::BadNumber { row: r, col: c })?,
+                );
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Err(ParseDataSetError::Empty);
+        }
+        Ok((header, DataSet::from_rows(rows)))
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let ds = DataSet::from_rows(vec![vec![1.0, -2.5], vec![0.25, 1e10]]);
+        let headers = vec!["a".to_string(), "b".to_string()];
+        let text = ds.to_csv(&headers);
+        let (h2, ds2) = DataSet::from_csv(&text).unwrap();
+        assert_eq!(h2, headers);
+        assert_eq!(ds2, ds);
+    }
+
+    #[test]
+    fn ragged_and_bad_fields_are_reported() {
+        assert_eq!(
+            DataSet::from_csv("a,b\n1.0").unwrap_err(),
+            ParseDataSetError::RaggedRow { row: 0, expected: 2, found: 1 }
+        );
+        assert_eq!(
+            DataSet::from_csv("a,b\n1.0,zebra").unwrap_err(),
+            ParseDataSetError::BadNumber { row: 0, col: 1 }
+        );
+        assert_eq!(DataSet::from_csv("a,b\n").unwrap_err(), ParseDataSetError::Empty);
+        assert_eq!(DataSet::from_csv("").unwrap_err(), ParseDataSetError::Empty);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let (_, ds) = DataSet::from_csv("x\n\n1.5\n\n2.5\n").unwrap();
+        assert_eq!(ds.column(0), vec![1.5, 2.5]);
+    }
+}

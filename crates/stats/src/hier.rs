@@ -1,0 +1,240 @@
+//! Agglomerative hierarchical clustering and silhouette validation.
+//!
+//! The workload-characterization line of work the paper builds on
+//! (Eeckhout et al.) groups benchmarks with dendrograms; this module
+//! provides average-linkage agglomerative clustering as an alternative to
+//! the paper's k-means, plus silhouette scores to compare clusterings.
+
+use crate::distance::CondensedDistances;
+
+/// One merge step of the dendrogram: clusters `a` and `b` (indices into the
+/// merge history: `0..n` are leaves, `n + i` is the cluster created by merge
+/// `i`) joined at `height` (average inter-cluster distance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    pub a: usize,
+    pub b: usize,
+    pub height: f64,
+}
+
+/// The full merge history of an agglomerative clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaves (items clustered).
+    pub fn num_items(&self) -> usize {
+        self.n
+    }
+
+    /// The merge steps, in order of increasing height.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the tree into `k` clusters; returns a label per item, with
+    /// labels in `0..k` (renumbered arbitrarily but densely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the number of items.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n, "k out of range");
+        // Apply the first n - k merges with a union-find.
+        let total = self.n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(self.n - k).enumerate() {
+            let node = self.n + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        // Densely renumber the roots.
+        let mut labels = vec![0usize; self.n];
+        let mut seen: Vec<usize> = Vec::new();
+        for i in 0..self.n {
+            let r = find(&mut parent, i);
+            let label = match seen.iter().position(|&s| s == r) {
+                Some(p) => p,
+                None => {
+                    seen.push(r);
+                    seen.len() - 1
+                }
+            };
+            labels[i] = label;
+        }
+        labels
+    }
+}
+
+/// Average-linkage (UPGMA) agglomerative clustering over a precomputed
+/// distance matrix. O(n^3) in the number of items — fine for benchmark
+/// counts.
+pub fn hierarchical_cluster(d: &CondensedDistances) -> Dendrogram {
+    let n = d.num_items();
+    // active clusters: (node id, member leaves)
+    let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+
+    let avg_dist = |a: &[usize], b: &[usize]| -> f64 {
+        let mut s = 0.0;
+        for &x in a {
+            for &y in b {
+                s += d.get(x, y);
+            }
+        }
+        s / (a.len() * b.len()) as f64
+    };
+
+    while clusters.len() > 1 {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let dist = avg_dist(&clusters[i].1, &clusters[j].1);
+                if dist < best.2 {
+                    best = (i, j, dist);
+                }
+            }
+        }
+        let (i, j, height) = best;
+        let (id_b, mut members_b) = clusters.swap_remove(j);
+        let (id_a, members_a) = std::mem::replace(&mut clusters[i], (0, Vec::new()));
+        let mut members = members_a;
+        members.append(&mut members_b);
+        clusters[i] = (next_id, members);
+        merges.push(Merge { a: id_a, b: id_b, height });
+        next_id += 1;
+    }
+    Dendrogram { n, merges }
+}
+
+/// Mean silhouette coefficient of a labeling under a distance matrix, in
+/// `[-1, 1]`; higher means tighter, better-separated clusters. Items in
+/// singleton clusters contribute 0 (the standard convention).
+///
+/// # Panics
+///
+/// Panics if `labels` does not match the matrix size.
+pub fn silhouette(d: &CondensedDistances, labels: &[usize]) -> f64 {
+    let n = d.num_items();
+    assert_eq!(labels.len(), n, "one label per item");
+    if n <= 1 {
+        return 0.0;
+    }
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        if sizes[labels[i]] <= 1 {
+            continue; // singleton: silhouette 0
+        }
+        // a = mean intra-cluster distance; b = min mean distance to another
+        // cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if j != i {
+                sums[labels[j]] += d.get(i, j);
+            }
+        }
+        let a = sums[labels[i]] / (sizes[labels[i]] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != labels[i] && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DataSet;
+    use crate::distance::pairwise_distances;
+
+    fn blobs() -> (DataSet, Vec<usize>) {
+        // Two tight 1-D blobs: {0.0, 0.1, 0.2} and {10.0, 10.1, 10.2}.
+        let rows =
+            vec![vec![0.0], vec![0.1], vec![0.2], vec![10.0], vec![10.1], vec![10.2]];
+        (DataSet::from_rows(rows), vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn dendrogram_has_n_minus_one_merges_with_rising_heights() {
+        let (ds, _) = blobs();
+        let dend = hierarchical_cluster(&pairwise_distances(&ds));
+        assert_eq!(dend.merges().len(), 5);
+        for w in dend.merges().windows(2) {
+            assert!(w[0].height <= w[1].height + 1e-12, "UPGMA heights rise");
+        }
+    }
+
+    #[test]
+    fn cut_at_two_recovers_the_blobs() {
+        let (ds, truth) = blobs();
+        let dend = hierarchical_cluster(&pairwise_distances(&ds));
+        let labels = dend.cut(2);
+        // Same partition as the ground truth (up to label swap).
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    labels[i] == labels[j],
+                    truth[i] == truth[j],
+                    "items {i},{j} disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let (ds, _) = blobs();
+        let dend = hierarchical_cluster(&pairwise_distances(&ds));
+        assert_eq!(dend.cut(1), vec![0; 6]);
+        let mut six = dend.cut(6);
+        six.sort_unstable();
+        assert_eq!(six, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn silhouette_prefers_the_true_partition() {
+        let (ds, truth) = blobs();
+        let d = pairwise_distances(&ds);
+        let good = silhouette(&d, &truth);
+        let bad = silhouette(&d, &[0, 1, 0, 1, 0, 1]);
+        assert!(good > 0.9, "true split scores high: {good}");
+        assert!(bad < 0.0, "mixed split scores badly: {bad}");
+    }
+
+    #[test]
+    fn silhouette_of_singletons_is_zero() {
+        let (ds, _) = blobs();
+        let d = pairwise_distances(&ds);
+        assert_eq!(silhouette(&d, &[0, 1, 2, 3, 4, 5]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn cut_rejects_bad_k() {
+        let (ds, _) = blobs();
+        let dend = hierarchical_cluster(&pairwise_distances(&ds));
+        let _ = dend.cut(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! k-means clustering with BIC-based model selection (Section VI).
+
+use crate::dataset::DataSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster label per row.
+    pub labels: Vec<usize>,
+    /// Centroids, one row vector per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid.
+    pub sse: f64,
+    /// The Bayesian Information Criterion score of this clustering
+    /// (spherical-Gaussian BIC, as used by SimPoint).
+    pub bic: f64,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Row indices of each cluster.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![Vec::new(); self.k()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            m[l].push(i);
+        }
+        m
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Spherical-Gaussian BIC (Pelleg & Moore's X-means formulation, the one the
+/// SimPoint work the paper cites uses).
+fn bic_score(ds: &DataSet, labels: &[usize], centroids: &[Vec<f64>], sse: f64) -> f64 {
+    let r = ds.rows() as f64;
+    let d = ds.cols() as f64;
+    let k = centroids.len() as f64;
+    // Cluster sizes.
+    let mut sizes = vec![0usize; centroids.len()];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    // Pooled spherical variance estimate. The floor matters: benchmark
+    // suites contain near-duplicate runs (same program, sibling inputs), so
+    // without it the pooled variance collapses as K grows and BIC rewards
+    // shattering the data into singletons. Flooring sigma^2 at 5% of a unit
+    // (z-scored) axis says "differences below ~0.22 standard deviations are
+    // measurement noise", which caps the useful resolution of the
+    // clustering the way the paper's noisier real-hardware data did
+    // naturally.
+    let denom = (r - k).max(1.0) * d;
+    let sigma2 = (sse / denom).max(0.05);
+    let mut loglik = 0.0;
+    for &rn in &sizes {
+        if rn == 0 {
+            continue;
+        }
+        let rn = rn as f64;
+        loglik += rn * rn.ln() - rn * r.ln()
+            - rn * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
+            - (rn - 1.0) * d / 2.0;
+    }
+    let params = k * (d + 1.0);
+    loglik - params / 2.0 * r.ln()
+}
+
+/// k-means with k-means++ seeding and Lloyd iterations, deterministic for a
+/// given `seed`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of rows.
+pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
+    assert!(k >= 1, "k must be positive");
+    assert!(k <= ds.rows(), "cannot have more clusters than points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = ds.rows();
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(ds.row(rng.gen_range(0..n)).to_vec());
+    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(ds.row(i), &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; any point works.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        let c = ds.row(next).to_vec();
+        for i in 0..n {
+            d2[i] = d2[i].min(sq_dist(ds.row(i), &c));
+        }
+        centroids.push(c);
+    }
+
+    // Lloyd iterations.
+    let mut labels = vec![0usize; n];
+    for _ in 0..100 {
+        let mut changed = false;
+        for i in 0..n {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(j, c)| (j, sq_dist(ds.row(i), c)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("k >= 1");
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; ds.cols()]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            for c in 0..ds.cols() {
+                sums[labels[i]][c] += ds.get(i, c);
+            }
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                for c in 0..ds.cols() {
+                    centroids[j][c] = sums[j][c] / counts[j] as f64;
+                }
+            } else {
+                // Re-seed an empty cluster on the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(ds.row(a), &centroids[labels[a]])
+                            .partial_cmp(&sq_dist(ds.row(b), &centroids[labels[b]]))
+                            .unwrap()
+                    })
+                    .expect("n >= 1");
+                centroids[j] = ds.row(far).to_vec();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let sse: f64 = (0..n).map(|i| sq_dist(ds.row(i), &centroids[labels[i]])).sum();
+    let bic = bic_score(ds, &labels, &centroids, sse);
+    KMeansResult { labels, centroids, sse, bic }
+}
+
+/// Cluster for every `K` in `1..=k_max` and pick the smallest `K` whose BIC
+/// reaches 90% of the best score, after min-max normalizing the scores —
+/// the Section VI selection rule ("the K value that yields a BIC score
+/// within 90% of the maximum score").
+///
+/// Returns the chosen clustering; `k_max` is clamped to the number of rows.
+pub fn choose_k_by_bic(ds: &DataSet, k_max: usize, seed: u64) -> KMeansResult {
+    let k_max = k_max.min(ds.rows()).max(1);
+    let runs: Vec<KMeansResult> = (1..=k_max).map(|k| kmeans(ds, k, seed ^ k as u64)).collect();
+    let max = runs.iter().map(|r| r.bic).fold(f64::NEG_INFINITY, f64::max);
+    let min = runs.iter().map(|r| r.bic).fold(f64::INFINITY, f64::min);
+    let threshold = if (max - min).abs() < 1e-12 { max } else { min + 0.9 * (max - min) };
+    runs.into_iter()
+        .find(|r| r.bic >= threshold)
+        .expect("at least the max-BIC run passes the threshold")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs of 10 points each.
+    fn blobs() -> DataSet {
+        let mut rows = Vec::new();
+        let mut x = 99u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 1000) as f64 / 1000.0 - 0.5) * 0.4
+        };
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            for _ in 0..10 {
+                rows.push(vec![cx + rnd(), cy + rnd()]);
+            }
+        }
+        DataSet::from_rows(rows)
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let ds = blobs();
+        let r = kmeans(&ds, 3, 1);
+        // Each blob of 10 consecutive rows should share a label.
+        for blob in 0..3 {
+            let first = r.labels[blob * 10];
+            for i in 0..10 {
+                assert_eq!(r.labels[blob * 10 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(r.sse < 5.0, "tight clusters: sse = {}", r.sse);
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let ds = blobs();
+        let r = kmeans(&ds, 3, 7);
+        for i in 0..ds.rows() {
+            let own = sq_dist(ds.row(i), &r.centroids[r.labels[i]]);
+            for c in &r.centroids {
+                assert!(own <= sq_dist(ds.row(i), c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bic_prefers_true_k() {
+        let ds = blobs();
+        let r1 = kmeans(&ds, 1, 1);
+        let r3 = kmeans(&ds, 3, 1);
+        assert!(r3.bic > r1.bic, "k=3 BIC {} vs k=1 BIC {}", r3.bic, r1.bic);
+    }
+
+    #[test]
+    fn choose_k_lands_near_three() {
+        let ds = blobs();
+        let r = choose_k_by_bic(&ds, 10, 1);
+        assert!((2..=5).contains(&r.k()), "chose k = {}", r.k());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let ds = blobs();
+        assert_eq!(kmeans(&ds, 3, 42).labels, kmeans(&ds, 3, 42).labels);
+    }
+
+    #[test]
+    fn k_equals_n_is_perfect() {
+        let ds = DataSet::from_rows(vec![vec![0.0], vec![5.0], vec![9.0]]);
+        let r = kmeans(&ds, 3, 0);
+        assert!(r.sse < 1e-18);
+        let mut l = r.labels.clone();
+        l.sort_unstable();
+        assert_eq!(l, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters")]
+    fn k_above_n_rejected() {
+        let ds = DataSet::from_rows(vec![vec![0.0], vec![1.0]]);
+        let _ = kmeans(&ds, 3, 0);
+    }
+}

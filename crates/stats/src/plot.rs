@@ -1,0 +1,355 @@
+//! Minimal self-contained SVG emitters for the experiment outputs:
+//! scatter plots (Figure 1), line charts (Figures 4 and 5), grouped bars
+//! (Figures 2 and 3) and kiviat/radar diagrams (Figure 6).
+//!
+//! These are intentionally dependency-free string builders — enough to make
+//! the regenerated figures viewable, not a plotting library.
+
+use std::fmt::Write as _;
+
+const W: f64 = 640.0;
+const H: f64 = 480.0;
+const MARGIN: f64 = 60.0;
+
+fn header(title: &str) -> String {
+    format!(
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" ",
+            "viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"11\">\n",
+            "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n",
+            "<text x=\"{cx}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{t}</text>\n"
+        ),
+        w = W,
+        h = H,
+        cx = W / 2.0,
+        t = xml_escape(title),
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn bounds(vals: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in vals {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+struct Scale {
+    lo: f64,
+    hi: f64,
+    out_lo: f64,
+    out_hi: f64,
+}
+
+impl Scale {
+    fn map(&self, v: f64) -> f64 {
+        self.out_lo + (v - self.lo) / (self.hi - self.lo) * (self.out_hi - self.out_lo)
+    }
+}
+
+fn axes(svg: &mut String, xs: &Scale, ys: &Scale, x_label: &str, y_label: &str) {
+    let _ = write!(
+        svg,
+        "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n\
+         <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>\n",
+        m = MARGIN,
+        b = H - MARGIN,
+        r = W - MARGIN / 2.0,
+        t = MARGIN / 2.0,
+    );
+    for i in 0..=5 {
+        let fx = xs.lo + (xs.hi - xs.lo) * i as f64 / 5.0;
+        let px = xs.map(fx);
+        let _ = write!(
+            svg,
+            "<line x1=\"{px}\" y1=\"{b}\" x2=\"{px}\" y2=\"{b2}\" stroke=\"black\"/>\n\
+             <text x=\"{px}\" y=\"{ty}\" text-anchor=\"middle\">{fx:.2}</text>\n",
+            b = H - MARGIN,
+            b2 = H - MARGIN + 5.0,
+            ty = H - MARGIN + 18.0,
+        );
+        let fy = ys.lo + (ys.hi - ys.lo) * i as f64 / 5.0;
+        let py = ys.map(fy);
+        let _ = write!(
+            svg,
+            "<line x1=\"{m}\" y1=\"{py}\" x2=\"{m2}\" y2=\"{py}\" stroke=\"black\"/>\n\
+             <text x=\"{tx}\" y=\"{py2}\" text-anchor=\"end\">{fy:.2}</text>\n",
+            m = MARGIN,
+            m2 = MARGIN - 5.0,
+            tx = MARGIN - 8.0,
+            py2 = py + 4.0,
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text x=\"{cx}\" y=\"{by}\" text-anchor=\"middle\">{xl}</text>\n\
+         <text x=\"16\" y=\"{cy}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {cy})\">{yl}</text>\n",
+        cx = W / 2.0,
+        by = H - 14.0,
+        cy = H / 2.0,
+        xl = xml_escape(x_label),
+        yl = xml_escape(y_label),
+    );
+}
+
+/// A scatter plot of `(x, y)` points.
+pub fn svg_scatter(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut svg = header(title);
+    let (xlo, xhi) = bounds(points.iter().map(|p| p.0));
+    let (ylo, yhi) = bounds(points.iter().map(|p| p.1));
+    let xs = Scale { lo: xlo, hi: xhi, out_lo: MARGIN, out_hi: W - MARGIN / 2.0 };
+    let ys = Scale { lo: ylo, hi: yhi, out_lo: H - MARGIN, out_hi: MARGIN / 2.0 };
+    axes(&mut svg, &xs, &ys, x_label, y_label);
+    for &(x, y) in points {
+        let _ = write!(
+            svg,
+            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2\" fill=\"steelblue\" fill-opacity=\"0.5\"/>\n",
+            xs.map(x),
+            ys.map(y)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Palette shared by line and bar charts.
+const COLORS: [&str; 6] = ["steelblue", "crimson", "seagreen", "darkorange", "purple", "gray"];
+
+/// A multi-series line chart. Each series is `(name, points)`.
+pub fn svg_lines(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> String {
+    let mut svg = header(title);
+    let (xlo, xhi) = bounds(series.iter().flat_map(|s| s.1.iter().map(|p| p.0)));
+    let (ylo, yhi) = bounds(series.iter().flat_map(|s| s.1.iter().map(|p| p.1)));
+    let xs = Scale { lo: xlo, hi: xhi, out_lo: MARGIN, out_hi: W - MARGIN / 2.0 };
+    let ys = Scale { lo: ylo, hi: yhi, out_lo: H - MARGIN, out_hi: MARGIN / 2.0 };
+    axes(&mut svg, &xs, &ys, x_label, y_label);
+    for (i, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> =
+            pts.iter().map(|&(x, y)| format!("{:.2},{:.2}", xs.map(x), ys.map(y))).collect();
+        let _ = write!(
+            svg,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+            path.join(" ")
+        );
+        let _ = write!(
+            svg,
+            "<text x=\"{x}\" y=\"{y}\" fill=\"{color}\">{n}</text>\n",
+            x = W - MARGIN * 2.5,
+            y = MARGIN / 2.0 + 16.0 * (i + 1) as f64,
+            n = xml_escape(name),
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// A grouped bar chart: one group per label, one bar per series.
+pub fn svg_grouped_bars(
+    title: &str,
+    labels: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    let mut svg = header(title);
+    let (_, hi) = bounds(series.iter().flat_map(|s| s.1.iter().copied()));
+    let hi = hi.max(1e-12);
+    let plot_w = W - MARGIN * 1.5;
+    let plot_h = H - MARGIN * 2.0;
+    let group_w = plot_w / labels.len().max(1) as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+    for (gi, label) in labels.iter().enumerate() {
+        let gx = MARGIN + gi as f64 * group_w;
+        for (si, (_, vals)) in series.iter().enumerate() {
+            let v = vals.get(gi).copied().unwrap_or(0.0);
+            let bh = (v / hi).clamp(0.0, 1.0) * plot_h;
+            let _ = write!(
+                svg,
+                "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\"/>\n",
+                gx + si as f64 * bar_w,
+                H - MARGIN - bh,
+                bar_w * 0.95,
+                bh,
+                COLORS[si % COLORS.len()],
+            );
+        }
+        let _ = write!(
+            svg,
+            "<text x=\"{:.2}\" y=\"{:.2}\" text-anchor=\"end\" font-size=\"8\" \
+             transform=\"rotate(-60 {x:.2} {y:.2})\">{}</text>\n",
+            gx + group_w * 0.4,
+            H - MARGIN + 12.0,
+            xml_escape(label),
+            x = gx + group_w * 0.4,
+            y = H - MARGIN + 12.0,
+        );
+    }
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = write!(
+            svg,
+            "<text x=\"{x}\" y=\"{y}\" fill=\"{c}\">{n}</text>\n",
+            x = W - MARGIN * 2.5,
+            y = MARGIN / 2.0 + 16.0 * (si + 1) as f64,
+            c = COLORS[si % COLORS.len()],
+            n = xml_escape(name),
+        );
+    }
+    let _ = write!(
+        svg,
+        "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n",
+        m = MARGIN,
+        b = H - MARGIN,
+        r = W - MARGIN / 2.0
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// A kiviat (radar) diagram of values normalized to `[0, 1]`, one axis per
+/// entry of `axes` (Figure 6's per-benchmark plot).
+///
+/// # Panics
+///
+/// Panics if `axes` and `values` differ in length or fewer than 3 axes are
+/// given.
+pub fn svg_kiviat(title: &str, axes: &[String], values: &[f64]) -> String {
+    assert_eq!(axes.len(), values.len(), "one value per axis");
+    assert!(axes.len() >= 3, "a kiviat plot needs at least 3 axes");
+    let size = 320.0;
+    let cx = size / 2.0;
+    let cy = size / 2.0 + 10.0;
+    let radius = size / 2.0 - 50.0;
+    let mut svg = format!(
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{s}\" height=\"{s}\" ",
+            "viewBox=\"0 0 {s} {s}\" font-family=\"sans-serif\" font-size=\"9\">\n",
+            "<rect width=\"{s}\" height=\"{s}\" fill=\"white\"/>\n",
+            "<text x=\"{cx}\" y=\"14\" text-anchor=\"middle\" font-size=\"12\">{t}</text>\n"
+        ),
+        s = size,
+        cx = cx,
+        t = xml_escape(title),
+    );
+    let n = axes.len();
+    let angle = |i: usize| std::f64::consts::TAU * i as f64 / n as f64 - std::f64::consts::FRAC_PI_2;
+    // Grid rings.
+    for ring in [0.25, 0.5, 0.75, 1.0] {
+        let pts: Vec<String> = (0..n)
+            .map(|i| {
+                let a = angle(i);
+                format!("{:.1},{:.1}", cx + radius * ring * a.cos(), cy + radius * ring * a.sin())
+            })
+            .collect();
+        let _ = write!(
+            svg,
+            "<polygon points=\"{}\" fill=\"none\" stroke=\"#ddd\"/>\n",
+            pts.join(" ")
+        );
+    }
+    // Spokes and labels.
+    for (i, label) in axes.iter().enumerate() {
+        let a = angle(i);
+        let (x, y) = (cx + radius * a.cos(), cy + radius * a.sin());
+        let _ = write!(
+            svg,
+            "<line x1=\"{cx}\" y1=\"{cy}\" x2=\"{x:.1}\" y2=\"{y:.1}\" stroke=\"#bbb\"/>\n"
+        );
+        let (lx, ly) = (cx + (radius + 14.0) * a.cos(), cy + (radius + 14.0) * a.sin());
+        let _ = write!(
+            svg,
+            "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\">{}</text>\n",
+            xml_escape(label)
+        );
+    }
+    // Value polygon.
+    let pts: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let a = angle(i);
+            let r = radius * v.clamp(0.0, 1.0);
+            format!("{:.1},{:.1}", cx + r * a.cos(), cy + r * a.sin())
+        })
+        .collect();
+    let _ = write!(
+        svg,
+        "<polygon points=\"{}\" fill=\"steelblue\" fill-opacity=\"0.35\" stroke=\"steelblue\"/>\n",
+        pts.join(" ")
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_contains_every_point() {
+        let pts = [(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)];
+        let svg = svg_scatter("t", "x", "y", &pts);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn lines_have_one_polyline_per_series() {
+        let series = vec![
+            ("a".to_string(), vec![(0.0, 0.0), (1.0, 1.0)]),
+            ("b".to_string(), vec![(0.0, 1.0), (1.0, 0.0)]),
+        ];
+        let svg = svg_lines("t", "x", "y", &series);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn kiviat_draws_axes_and_polygon() {
+        let axes: Vec<String> = (0..8).map(|i| format!("m{i}")).collect();
+        let vals = vec![0.5; 8];
+        let svg = svg_kiviat("bench", &axes, &vals);
+        // 4 rings + 1 value polygon.
+        assert_eq!(svg.matches("<polygon").count(), 5);
+        assert_eq!(svg.matches("<line").count(), 8);
+    }
+
+    #[test]
+    fn bars_render_groups_times_series() {
+        let labels: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let series =
+            vec![("s1".to_string(), vec![1.0, 2.0, 3.0]), ("s2".to_string(), vec![3.0, 2.0, 1.0])];
+        let svg = svg_grouped_bars("t", &labels, &series);
+        assert_eq!(svg.matches("<rect").count(), 1 + 6); // background + bars
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = svg_scatter("a < b & c", "x", "y", &[(0.0, 0.0)]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "3 axes")]
+    fn kiviat_rejects_too_few_axes() {
+        let _ = svg_kiviat("t", &["a".into(), "b".into()], &[0.1, 0.2]);
+    }
+}

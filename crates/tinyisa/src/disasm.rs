@@ -1,0 +1,147 @@
+//! Disassembly: human-readable listings of programs.
+
+use crate::asm::Program;
+use crate::inst::{FCmpOp, MemWidth, Op};
+use std::fmt::Write as _;
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B1 => "1",
+        MemWidth::B2 => "2",
+        MemWidth::B4 => "4",
+        MemWidth::B8 => "8",
+    }
+}
+
+/// Render one instruction as assembly text; branch targets are shown as
+/// absolute byte addresses computed against `prog`.
+pub fn disassemble_op(prog: &Program, op: &Op) -> String {
+    let t = |idx: &usize| format!("{:#x}", prog.pc_of(*idx));
+    match op {
+        Op::Add(d, a, b) => format!("add {d}, {a}, {b}"),
+        Op::Sub(d, a, b) => format!("sub {d}, {a}, {b}"),
+        Op::And(d, a, b) => format!("and {d}, {a}, {b}"),
+        Op::Or(d, a, b) => format!("or {d}, {a}, {b}"),
+        Op::Xor(d, a, b) => format!("xor {d}, {a}, {b}"),
+        Op::Sll(d, a, b) => format!("sll {d}, {a}, {b}"),
+        Op::Srl(d, a, b) => format!("srl {d}, {a}, {b}"),
+        Op::Sra(d, a, b) => format!("sra {d}, {a}, {b}"),
+        Op::Slt(d, a, b) => format!("slt {d}, {a}, {b}"),
+        Op::Sltu(d, a, b) => format!("sltu {d}, {a}, {b}"),
+        Op::Addi(d, a, i) => format!("addi {d}, {a}, {i}"),
+        Op::Andi(d, a, i) => format!("andi {d}, {a}, {i}"),
+        Op::Ori(d, a, i) => format!("ori {d}, {a}, {i}"),
+        Op::Xori(d, a, i) => format!("xori {d}, {a}, {i}"),
+        Op::Slli(d, a, sh) => format!("slli {d}, {a}, {sh}"),
+        Op::Srli(d, a, sh) => format!("srli {d}, {a}, {sh}"),
+        Op::Srai(d, a, sh) => format!("srai {d}, {a}, {sh}"),
+        Op::Slti(d, a, i) => format!("slti {d}, {a}, {i}"),
+        Op::Li(d, i) => format!("li {d}, {i}"),
+        Op::Mul(d, a, b) => format!("mul {d}, {a}, {b}"),
+        Op::Mulh(d, a, b) => format!("mulh {d}, {a}, {b}"),
+        Op::Div(d, a, b) => format!("div {d}, {a}, {b}"),
+        Op::Rem(d, a, b) => format!("rem {d}, {a}, {b}"),
+        Op::Fadd(d, a, b) => format!("fadd {d}, {a}, {b}"),
+        Op::Fsub(d, a, b) => format!("fsub {d}, {a}, {b}"),
+        Op::Fmul(d, a, b) => format!("fmul {d}, {a}, {b}"),
+        Op::Fdiv(d, a, b) => format!("fdiv {d}, {a}, {b}"),
+        Op::Fsqrt(d, a) => format!("fsqrt {d}, {a}"),
+        Op::Fabs(d, a) => format!("fabs {d}, {a}"),
+        Op::Fneg(d, a) => format!("fneg {d}, {a}"),
+        Op::Fmin(d, a, b) => format!("fmin {d}, {a}, {b}"),
+        Op::Fmax(d, a, b) => format!("fmax {d}, {a}, {b}"),
+        Op::Fli(d, v) => format!("fli {d}, {v}"),
+        Op::Fmov(d, a) => format!("fmov {d}, {a}"),
+        Op::Fcvtif(d, a) => format!("fcvt.i.f {d}, {a}"),
+        Op::Fcvtfi(d, a) => format!("fcvt.f.i {d}, {a}"),
+        Op::Fcmp(d, a, b, c) => {
+            let op = match c {
+                FCmpOp::Lt => "fcmplt",
+                FCmpOp::Le => "fcmple",
+                FCmpOp::Eq => "fcmpeq",
+            };
+            format!("{op} {d}, {a}, {b}")
+        }
+        Op::Ld(d, b, off, w) => format!("ld{} {d}, {off}({b})", width_suffix(*w)),
+        Op::St(s, b, off, w) => format!("st{} {s}, {off}({b})", width_suffix(*w)),
+        Op::Ldf(d, b, off) => format!("ldf {d}, {off}({b})"),
+        Op::Stf(s, b, off) => format!("stf {s}, {off}({b})"),
+        Op::Beq(a, b, i) => format!("beq {a}, {b}, {}", t(i)),
+        Op::Bne(a, b, i) => format!("bne {a}, {b}, {}", t(i)),
+        Op::Blt(a, b, i) => format!("blt {a}, {b}, {}", t(i)),
+        Op::Bge(a, b, i) => format!("bge {a}, {b}, {}", t(i)),
+        Op::Bltu(a, b, i) => format!("bltu {a}, {b}, {}", t(i)),
+        Op::Bgeu(a, b, i) => format!("bgeu {a}, {b}, {}", t(i)),
+        Op::Jmp(i) => format!("jmp {}", t(i)),
+        Op::Jr(r) => format!("jr {r}"),
+        Op::Call(i) => format!("call {}", t(i)),
+        Op::Callr(r) => format!("callr {r}"),
+        Op::Ret => "ret".to_string(),
+        Op::Halt => "halt".to_string(),
+    }
+}
+
+impl Program {
+    /// Render the whole program as an address-annotated listing.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.insts().iter().enumerate() {
+            let _ = writeln!(out, "{:#08x}:  {}", self.pc_of(i), disassemble_op(self, op));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::regs::*;
+    use crate::Asm;
+
+    #[test]
+    fn listing_covers_every_instruction_with_addresses() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.li(T0, 42);
+        a.bind(l);
+        a.addi(T0, T0, -1);
+        a.ld8(T1, T0, 16);
+        a.stf(F0, T0, -8);
+        a.fcmplt(T2, F0, F1);
+        a.bne(T0, ZERO, l);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let text = p.disassemble();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), p.len());
+        assert!(lines[0].contains("li x7, 42"), "{}", lines[0]);
+        assert!(lines[1].contains("addi x7, x7, -1"));
+        assert!(lines[2].contains("ld8 x8, 16(x7)"));
+        assert!(lines[3].contains("stf f0, -8(x7)"));
+        assert!(lines[4].contains("fcmplt x9, f0, f1"));
+        // The branch target is the absolute pc of the bound label (inst 1).
+        assert!(lines[5].contains(&format!("{:#x}", p.pc_of(1))), "{}", lines[5]);
+        assert!(lines[6].contains("halt"));
+        // Every line leads with its own pc.
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{:#08x}", p.pc_of(i))), "{line}");
+        }
+    }
+
+    #[test]
+    fn real_kernel_listings_do_not_panic() {
+        // Smoke: disassembly of a nontrivial generated program.
+        let mut a = Asm::new();
+        let (f, after) = (a.label(), a.label());
+        a.call(f);
+        a.jmp(after);
+        a.bind(f);
+        a.mul(T0, T1, T2);
+        a.ret();
+        a.bind(after);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let text = p.disassemble();
+        assert!(text.contains("call"));
+        assert!(text.contains("ret"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Instruction definitions and the retired-instruction event type.
+
+use crate::{FReg, Reg};
+
+/// Width of a scalar memory access, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    B1,
+    B2,
+    B4,
+    B8,
+}
+
+impl MemWidth {
+    /// Size of the access in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// Comparison predicate used by [`Op::Fcmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCmpOp {
+    Lt,
+    Le,
+    Eq,
+}
+
+/// A static instruction.
+///
+/// Branch/jump/call targets are indices into the program's instruction
+/// vector; they are produced by [`crate::Asm`], which resolves labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    // --- integer ALU (three-register) ---
+    Add(Reg, Reg, Reg),
+    Sub(Reg, Reg, Reg),
+    And(Reg, Reg, Reg),
+    Or(Reg, Reg, Reg),
+    Xor(Reg, Reg, Reg),
+    Sll(Reg, Reg, Reg),
+    Srl(Reg, Reg, Reg),
+    Sra(Reg, Reg, Reg),
+    /// Set-if-less-than, signed: `dst = (a < b) as u64`.
+    Slt(Reg, Reg, Reg),
+    /// Set-if-less-than, unsigned.
+    Sltu(Reg, Reg, Reg),
+    // --- integer ALU (immediate) ---
+    Addi(Reg, Reg, i64),
+    Andi(Reg, Reg, i64),
+    Ori(Reg, Reg, i64),
+    Xori(Reg, Reg, i64),
+    Slli(Reg, Reg, u8),
+    Srli(Reg, Reg, u8),
+    Srai(Reg, Reg, u8),
+    Slti(Reg, Reg, i64),
+    /// Load immediate: `dst = imm`. No register sources.
+    Li(Reg, i64),
+    // --- integer multiply / divide (classified as `IntMul`) ---
+    Mul(Reg, Reg, Reg),
+    /// Upper 64 bits of the unsigned 128-bit product.
+    Mulh(Reg, Reg, Reg),
+    /// Signed division; division by zero yields `u64::MAX` (no trap).
+    Div(Reg, Reg, Reg),
+    /// Signed remainder; remainder by zero yields the dividend.
+    Rem(Reg, Reg, Reg),
+    // --- floating point ---
+    Fadd(FReg, FReg, FReg),
+    Fsub(FReg, FReg, FReg),
+    Fmul(FReg, FReg, FReg),
+    Fdiv(FReg, FReg, FReg),
+    Fsqrt(FReg, FReg),
+    Fabs(FReg, FReg),
+    Fneg(FReg, FReg),
+    Fmin(FReg, FReg, FReg),
+    Fmax(FReg, FReg, FReg),
+    /// Load floating-point immediate. No register sources.
+    Fli(FReg, f64),
+    /// Move between FP registers.
+    Fmov(FReg, FReg),
+    /// Convert signed integer to double: `fd = xs as f64`.
+    Fcvtif(FReg, Reg),
+    /// Convert double to signed integer (truncating): `xd = fs as i64`.
+    Fcvtfi(Reg, FReg),
+    /// FP compare writing 0/1 to an integer register.
+    Fcmp(Reg, FReg, FReg, FCmpOp),
+    // --- memory ---
+    /// Zero-extending load: `dst = mem[base + off]`.
+    Ld(Reg, Reg, i64, MemWidth),
+    /// Store: `mem[base + off] = src`.
+    St(Reg, Reg, i64, MemWidth),
+    /// Load a 64-bit double into an FP register.
+    Ldf(FReg, Reg, i64),
+    /// Store a 64-bit double from an FP register.
+    Stf(FReg, Reg, i64),
+    // --- control ---
+    Beq(Reg, Reg, usize),
+    Bne(Reg, Reg, usize),
+    Blt(Reg, Reg, usize),
+    Bge(Reg, Reg, usize),
+    Bltu(Reg, Reg, usize),
+    Bgeu(Reg, Reg, usize),
+    /// Unconditional direct jump.
+    Jmp(usize),
+    /// Indirect jump to the byte address in a register.
+    Jr(Reg),
+    /// Direct call: writes the return byte address to `RA` and jumps.
+    Call(usize),
+    /// Indirect call through a register.
+    Callr(Reg),
+    /// Return: jump to the byte address in `RA`.
+    Ret,
+    /// Stop the machine.
+    Halt,
+}
+
+/// Coarse class of a retired instruction, as used by the instruction-mix
+/// characterization (loads, stores, control transfers, arithmetic, integer
+/// multiplies, floating point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Integer ALU and move operations.
+    IntAlu,
+    /// Integer multiply, divide, remainder.
+    IntMul,
+    /// Floating-point operations (including converts and FP compares).
+    Fp,
+    /// Memory loads (integer or FP).
+    Load,
+    /// Memory stores (integer or FP).
+    Store,
+    /// Conditional branches.
+    Branch,
+    /// Unconditional jumps, calls and returns.
+    Jump,
+}
+
+impl InstClass {
+    /// True for any control transfer (branch or jump/call/return).
+    pub fn is_control(self) -> bool {
+        matches!(self, InstClass::Branch | InstClass::Jump)
+    }
+}
+
+/// A reference to an architectural register in a [`DynInst`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    Int(u8),
+    Fp(u8),
+}
+
+impl RegRef {
+    /// A dense index over the unified register file: integer registers map to
+    /// `0..32`, FP registers to `32..64`.
+    pub fn unified(self) -> usize {
+        match self {
+            RegRef::Int(r) => r as usize,
+            RegRef::Fp(r) => 32 + r as usize,
+        }
+    }
+}
+
+impl From<Reg> for RegRef {
+    fn from(r: Reg) -> Self {
+        RegRef::Int(r.0)
+    }
+}
+
+impl From<FReg> for RegRef {
+    fn from(r: FReg) -> Self {
+        RegRef::Fp(r.0)
+    }
+}
+
+/// A data-memory access performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// Control-flow outcome of a retired control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtrlInfo {
+    /// Whether the transfer was taken (always true for jumps).
+    pub taken: bool,
+    /// Byte address of the target (the fall-through address for a not-taken
+    /// branch).
+    pub target: u64,
+    /// True for conditional branches, false for jumps/calls/returns.
+    pub conditional: bool,
+}
+
+/// One retired dynamic instruction, as observed by a [`crate::TraceSink`].
+///
+/// Reads of the hardwired-zero register `x0` are omitted from `srcs`, and
+/// writes to it are omitted from `dst` — `x0` carries no data dependence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Byte address of the instruction.
+    pub pc: u64,
+    /// Coarse class, for the instruction-mix characterization.
+    pub class: InstClass,
+    /// Destination register, if any.
+    pub dst: Option<RegRef>,
+    /// Source registers (up to three; `None` entries are trailing).
+    pub srcs: [Option<RegRef>; 3],
+    /// Data-memory access, if this is a load or store.
+    pub mem: Option<MemAccess>,
+    /// Control-flow outcome, if this is a control transfer.
+    pub ctrl: Option<CtrlInfo>,
+}
+
+impl DynInst {
+    /// Iterate over the (non-`None`) source registers.
+    pub fn sources(&self) -> impl Iterator<Item = RegRef> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Number of register input operands.
+    pub fn num_sources(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B1.bytes(), 1);
+        assert_eq!(MemWidth::B2.bytes(), 2);
+        assert_eq!(MemWidth::B4.bytes(), 4);
+        assert_eq!(MemWidth::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn unified_register_indices_are_disjoint() {
+        assert_eq!(RegRef::Int(0).unified(), 0);
+        assert_eq!(RegRef::Int(31).unified(), 31);
+        assert_eq!(RegRef::Fp(0).unified(), 32);
+        assert_eq!(RegRef::Fp(31).unified(), 63);
+    }
+
+    #[test]
+    fn control_classes() {
+        assert!(InstClass::Branch.is_control());
+        assert!(InstClass::Jump.is_control());
+        assert!(!InstClass::Load.is_control());
+        assert!(!InstClass::IntAlu.is_control());
+    }
+
+    #[test]
+    fn dyn_inst_sources() {
+        let d = DynInst {
+            pc: 0,
+            class: InstClass::IntAlu,
+            dst: Some(RegRef::Int(1)),
+            srcs: [Some(RegRef::Int(2)), Some(RegRef::Fp(3)), None],
+            mem: None,
+            ctrl: None,
+        };
+        assert_eq!(d.num_sources(), 2);
+        let v: Vec<_> = d.sources().collect();
+        assert_eq!(v, vec![RegRef::Int(2), RegRef::Fp(3)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Differential testing: the VM's integer ALU semantics are checked against
+//! an independent host-side interpreter over randomly generated straight-
+//! line programs. Any divergence in wrapping, shifting, sign handling or
+//! comparison semantics fails here.
+
+use proptest::prelude::*;
+use tinyisa::{regs::*, Asm, CountingSink, Reg, Vm};
+
+#[derive(Debug, Clone, Copy)]
+enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+    Mulh,
+    Div,
+    Rem,
+}
+
+const OPS: [AluOp; 14] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Div,
+    AluOp::Rem,
+];
+
+/// The oracle: plain-Rust semantics, written independently of the VM.
+fn oracle(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32),
+        AluOp::Srl => a.wrapping_shr(b as u32),
+        AluOp::Sra => ((a as i64).wrapping_shr(b as u32)) as u64,
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => ((a as u128).wrapping_mul(b as u128) >> 64) as u64,
+        AluOp::Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                (a as i64).wrapping_div(b as i64) as u64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                (a as i64).wrapping_rem(b as i64) as u64
+            }
+        }
+    }
+}
+
+fn emit(a: &mut Asm, op: AluOp, d: Reg, x: Reg, y: Reg) {
+    match op {
+        AluOp::Add => a.add(d, x, y),
+        AluOp::Sub => a.sub(d, x, y),
+        AluOp::And => a.and(d, x, y),
+        AluOp::Or => a.or(d, x, y),
+        AluOp::Xor => a.xor(d, x, y),
+        AluOp::Sll => a.sll(d, x, y),
+        AluOp::Srl => a.srl(d, x, y),
+        AluOp::Sra => a.sra(d, x, y),
+        AluOp::Slt => a.slt(d, x, y),
+        AluOp::Sltu => a.sltu(d, x, y),
+        AluOp::Mul => a.mul(d, x, y),
+        AluOp::Mulh => a.mulh(d, x, y),
+        AluOp::Div => a.div(d, x, y),
+        AluOp::Rem => a.rem(d, x, y),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alu_matches_host_oracle(
+        seeds in proptest::collection::vec(any::<u64>(), 4),
+        prog in proptest::collection::vec((0usize..14, 1u8..16, 0u8..16, 0u8..16), 1..40),
+    ) {
+        // Build the program: seed registers x1..x4, then the random body.
+        let mut a = Asm::new();
+        for (i, &v) in seeds.iter().enumerate() {
+            a.li(Reg(i as u8 + 1), v as i64);
+        }
+        for &(op, d, x, y) in &prog {
+            emit(&mut a, OPS[op], Reg(d), Reg(x % 16), Reg(y % 16));
+        }
+        a.halt();
+        let mut vm = Vm::new(a.assemble().expect("assembles"));
+        let mut sink = CountingSink::default();
+        vm.run(&mut sink, 1_000_000).expect("runs to halt");
+
+        // Replay on the oracle.
+        let mut regs = [0u64; 16];
+        for (i, &v) in seeds.iter().enumerate() {
+            regs[i + 1] = v;
+        }
+        for &(op, d, x, y) in &prog {
+            let v = oracle(OPS[op], regs[(x % 16) as usize], regs[(y % 16) as usize]);
+            if d != 0 {
+                regs[d as usize] = v;
+            }
+        }
+        for (i, &expect) in regs.iter().enumerate() {
+            prop_assert_eq!(vm.reg(Reg(i as u8)), expect, "register x{} diverged", i);
+        }
+    }
+
+    #[test]
+    fn memory_round_trips_any_width(
+        addr in 0x1000u64..0x10_0000,
+        value in any::<u64>(),
+        width_sel in 0usize..4,
+    ) {
+        let widths = [1u64, 2, 4, 8];
+        let w = widths[width_sel];
+        let mut a = Asm::new();
+        a.li(T0, addr as i64);
+        a.li(T1, value as i64);
+        match w {
+            1 => { a.st1(T1, T0, 0); a.ld1(T2, T0, 0); }
+            2 => { a.st2(T1, T0, 0); a.ld2(T2, T0, 0); }
+            4 => { a.st4(T1, T0, 0); a.ld4(T2, T0, 0); }
+            _ => { a.st8(T1, T0, 0); a.ld8(T2, T0, 0); }
+        }
+        a.halt();
+        let mut vm = Vm::new(a.assemble().expect("assembles"));
+        vm.run(&mut CountingSink::default(), 100).expect("runs");
+        let mask = if w == 8 { u64::MAX } else { (1u64 << (w * 8)) - 1 };
+        prop_assert_eq!(vm.reg(T2), value & mask, "width {} load zero-extends the stored bytes", w);
+    }
+
+    #[test]
+    fn fp_ops_match_host_semantics(
+        x in -1e6f64..1e6,
+        y in -1e6f64..1e6,
+    ) {
+        let mut a = Asm::new();
+        a.fli(F0, x);
+        a.fli(F1, y);
+        a.fadd(F2, F0, F1);
+        a.fsub(F3, F0, F1);
+        a.fmul(F4, F0, F1);
+        a.fdiv(F5, F0, F1);
+        a.fmin(F6, F0, F1);
+        a.fmax(F7, F0, F1);
+        a.halt();
+        let mut vm = Vm::new(a.assemble().expect("assembles"));
+        vm.run(&mut CountingSink::default(), 100).expect("runs");
+        prop_assert_eq!(vm.freg(F2), x + y);
+        prop_assert_eq!(vm.freg(F3), x - y);
+        prop_assert_eq!(vm.freg(F4), x * y);
+        prop_assert_eq!(vm.freg(F5).to_bits(), (x / y).to_bits());
+        prop_assert_eq!(vm.freg(F6), x.min(y));
+        prop_assert_eq!(vm.freg(F7), x.max(y));
+    }
+}

@@ -1,0 +1,204 @@
+//! Hardware-realizable branch predictors for the timing models.
+//!
+//! Unlike the theoretical PPM predictors in `mica-core` (which measure a
+//! microarchitecture-*independent* predictability bound), these are the
+//! finite-table predictors of the simulated machines, and their accuracy is
+//! a microarchitecture-*dependent* counter metric.
+
+use crate::cache::CacheStats;
+
+/// A predictor of conditional-branch outcomes.
+pub trait BranchPredictor {
+    /// Predict and train on one conditional branch; returns `true` if the
+    /// prediction was correct.
+    fn observe(&mut self, pc: u64, taken: bool) -> bool;
+
+    /// Accumulated statistics (`misses` = mispredictions).
+    fn stats(&self) -> CacheStats;
+}
+
+fn counter_update(counter: &mut u8, taken: bool) {
+    if taken {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+/// A table of 2-bit saturating counters indexed by the branch PC — the
+/// EV56-class predictor.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    counters: Vec<u8>,
+    stats: CacheStats,
+}
+
+impl BimodalPredictor {
+    /// A predictor with `entries` 2-bit counters (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        BimodalPredictor { counters: vec![1; entries], stats: CacheStats::default() }
+    }
+
+    /// The EV56-like 2048-entry table.
+    pub fn ev56() -> Self {
+        BimodalPredictor::new(2048)
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = ((pc >> 2) as usize) & (self.counters.len() - 1);
+        let prediction = self.counters[idx] >= 2;
+        counter_update(&mut self.counters[idx], taken);
+        self.stats.accesses += 1;
+        let correct = prediction == taken;
+        if !correct {
+            self.stats.misses += 1;
+        }
+        correct
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// An EV67-class tournament predictor: a local component (per-branch history
+/// indexing a counter table), a global gshare-style component, and a chooser
+/// trained on which component was right.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    local_hist: Vec<u16>,
+    local_counters: Vec<u8>,
+    global_counters: Vec<u8>,
+    chooser: Vec<u8>,
+    global_hist: u64,
+    stats: CacheStats,
+}
+
+/// Local history bits (EV67 uses 10).
+const LOCAL_HIST_BITS: usize = 10;
+/// Global history bits (EV67 uses 12).
+const GLOBAL_HIST_BITS: usize = 12;
+
+impl TournamentPredictor {
+    /// The EV67-like configuration: 1K local histories of 10 bits, 1K local
+    /// counters, 4K global counters, 4K choosers.
+    pub fn ev67() -> Self {
+        TournamentPredictor {
+            local_hist: vec![0; 1024],
+            local_counters: vec![1; 1 << LOCAL_HIST_BITS],
+            global_counters: vec![1; 1 << GLOBAL_HIST_BITS],
+            chooser: vec![1; 1 << GLOBAL_HIST_BITS],
+            global_hist: 0,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl Default for TournamentPredictor {
+    fn default() -> Self {
+        Self::ev67()
+    }
+}
+
+impl BranchPredictor for TournamentPredictor {
+    fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        let pc_idx = ((pc >> 2) as usize) & (self.local_hist.len() - 1);
+        let lhist = self.local_hist[pc_idx] as usize & ((1 << LOCAL_HIST_BITS) - 1);
+        let local_pred = self.local_counters[lhist] >= 2;
+
+        let gmask = (1usize << GLOBAL_HIST_BITS) - 1;
+        let gidx = ((self.global_hist as usize) ^ ((pc >> 2) as usize)) & gmask;
+        let global_pred = self.global_counters[gidx] >= 2;
+
+        let cidx = (self.global_hist as usize) & gmask;
+        let use_global = self.chooser[cidx] >= 2;
+        let prediction = if use_global { global_pred } else { local_pred };
+
+        // Train the chooser toward whichever component was right.
+        if global_pred != local_pred {
+            counter_update(&mut self.chooser[cidx], global_pred == taken);
+        }
+        counter_update(&mut self.local_counters[lhist], taken);
+        counter_update(&mut self.global_counters[gidx], taken);
+        self.local_hist[pc_idx] = (self.local_hist[pc_idx] << 1) | taken as u16;
+        self.global_hist = (self.global_hist << 1) | taken as u64;
+
+        self.stats.accesses += 1;
+        let correct = prediction == taken;
+        if !correct {
+            self.stats.misses += 1;
+        }
+        correct
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<P: BranchPredictor>(p: &mut P, outcomes: impl IntoIterator<Item = (u64, bool)>) {
+        for (pc, t) in outcomes {
+            p.observe(pc, t);
+        }
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branch() {
+        let mut p = BimodalPredictor::ev56();
+        run(&mut p, (0..1000).map(|_| (0x400u64, true)));
+        assert!(p.stats().miss_rate() < 0.01);
+    }
+
+    #[test]
+    fn bimodal_poor_on_alternation() {
+        let mut p = BimodalPredictor::ev56();
+        run(&mut p, (0..1000).map(|i| (0x400u64, i % 2 == 0)));
+        assert!(p.stats().miss_rate() > 0.4, "bimodal cannot track T/NT alternation");
+    }
+
+    #[test]
+    fn tournament_learns_alternation() {
+        let mut p = TournamentPredictor::ev67();
+        run(&mut p, (0..4000).map(|i| (0x400u64, i % 2 == 0)));
+        assert!(p.stats().miss_rate() < 0.2, "history-based predictor tracks alternation");
+    }
+
+    #[test]
+    fn tournament_beats_bimodal_on_patterned_branches() {
+        let pattern = |i: u64| (i % 5) < 3; // period-5 pattern
+        let mut bi = BimodalPredictor::ev56();
+        let mut to = TournamentPredictor::ev67();
+        run(&mut bi, (0..10_000).map(|i| (0x400u64, pattern(i))));
+        run(&mut to, (0..10_000).map(|i| (0x400u64, pattern(i))));
+        assert!(to.stats().miss_rate() < bi.stats().miss_rate());
+    }
+
+    #[test]
+    fn aliasing_degrades_bimodal() {
+        // Two opposite-biased branches 2048*4 bytes apart collide in the
+        // 2048-entry table.
+        let mut p = BimodalPredictor::new(16);
+        run(
+            &mut p,
+            (0..2000).flat_map(|_| [(0x0u64, true), (16 * 4, false)]),
+        );
+        assert!(p.stats().miss_rate() > 0.4, "aliased opposite branches thrash the counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_table_size_rejected() {
+        let _ = BimodalPredictor::new(100);
+    }
+}

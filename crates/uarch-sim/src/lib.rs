@@ -1,0 +1,56 @@
+//! Microarchitecture simulators standing in for the paper's hardware
+//! performance counters.
+//!
+//! The paper profiles its benchmarks on two real Alpha machines: an in-order
+//! dual-issue 21164A (EV56) — IPC, branch misprediction rate, L1 D/I miss
+//! rates, L2 miss rate, D-TLB miss rate, via DCPI — and an out-of-order
+//! four-wide 21264A (EV67) — IPC only. Neither machine (nor DCPI) being
+//! available, this crate simulates equivalents:
+//!
+//! - [`Cache`]: set-associative, LRU, configurable geometry;
+//! - [`Tlb`]: fully-associative LRU translation buffer;
+//! - [`BimodalPredictor`] / [`TournamentPredictor`]: the EV56- and
+//!   EV67-class branch predictors;
+//! - [`Ev56Model`]: in-order dual-issue timing model with its cache
+//!   hierarchy;
+//! - [`Ev67Model`]: out-of-order, 4-wide, 80-entry-window timing model;
+//! - [`HpcSimulator`]: drives both from one trace and produces the
+//!   [`HpcProfile`] used as the "hardware performance counter"
+//!   characterization throughout the experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use tinyisa::{Asm, Vm, regs::*};
+//! use uarch_sim::HpcSimulator;
+//!
+//! # fn main() -> Result<(), tinyisa::AsmError> {
+//! let mut a = Asm::new();
+//! let head = a.label();
+//! a.li(T0, 0);
+//! a.bind(head);
+//! a.addi(T0, T0, 1);
+//! a.slti(T1, T0, 10_000);
+//! a.bne(T1, ZERO, head);
+//! a.halt();
+//!
+//! let mut sim = HpcSimulator::new();
+//! Vm::new(a.assemble()?).run(&mut sim, 1_000_000).unwrap();
+//! let profile = sim.finish();
+//! assert!(profile.ipc_ev67 >= profile.ipc_ev56); // wider machine
+//! assert!(profile.l1i_miss_rate < 0.01); // tiny loop fits in L1I
+//! # Ok(())
+//! # }
+//! ```
+
+mod branch;
+mod cache;
+mod pipeline;
+mod profile;
+mod tlb;
+
+pub use branch::{BimodalPredictor, BranchPredictor, TournamentPredictor};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use pipeline::{Ev56Model, Ev67Model, InOrderConfig, MemoryLatency, OooConfig};
+pub use profile::{HpcProfile, HpcSimulator, HPC_EXTENDED_NAMES, HPC_METRIC_NAMES, NUM_HPC_METRICS};
+pub use tlb::Tlb;

@@ -1,0 +1,230 @@
+//! The combined "hardware performance counter" profile.
+
+use crate::pipeline::{Ev56Model, Ev67Model};
+use serde::{Deserialize, Serialize};
+use tinyisa::{DynInst, InstClass, TraceSink};
+
+/// Number of counter metrics in the microarchitecture-dependent space
+/// (Section III-B of the paper).
+pub const NUM_HPC_METRICS: usize = 7;
+
+/// Names of the counter metrics, in [`HpcProfile::counter_vector`] order.
+pub const HPC_METRIC_NAMES: [&str; NUM_HPC_METRICS] = [
+    "IPC (EV56)",
+    "branch misprediction rate",
+    "L1 D-cache miss rate",
+    "L1 I-cache miss rate",
+    "L2 cache miss rate",
+    "D-TLB miss rate",
+    "IPC (EV67)",
+];
+
+/// Names of the extended profile (instruction mix + counters) used in the
+/// Figure 2 case study, where mix is shown as part of the
+/// microarchitecture-dependent characterization "as is done in many workload
+/// characterization papers".
+pub const HPC_EXTENDED_NAMES: [&str; 13] = [
+    "pct loads",
+    "pct stores",
+    "pct control",
+    "pct arithmetic",
+    "pct int multiply",
+    "pct fp",
+    "IPC (EV56)",
+    "branch misprediction rate",
+    "L1 D-cache miss rate",
+    "L1 I-cache miss rate",
+    "L2 cache miss rate",
+    "D-TLB miss rate",
+    "IPC (EV67)",
+];
+
+/// The microarchitecture-dependent characterization of one benchmark run:
+/// the seven counter values the paper collects with DCPI, plus the
+/// instruction mix used in its Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HpcProfile {
+    /// IPC on the in-order dual-issue EV56-like machine.
+    pub ipc_ev56: f64,
+    /// Conditional-branch misprediction rate on the EV56-like predictor.
+    pub branch_mispredict_rate: f64,
+    /// L1 D-cache miss rate (per data access), EV56-like hierarchy.
+    pub l1d_miss_rate: f64,
+    /// L1 I-cache miss rate (per fetch), EV56-like hierarchy.
+    pub l1i_miss_rate: f64,
+    /// L2 miss rate (per L2 access), EV56-like hierarchy.
+    pub l2_miss_rate: f64,
+    /// D-TLB miss rate (per data access).
+    pub dtlb_miss_rate: f64,
+    /// IPC on the out-of-order four-wide EV67-like machine.
+    pub ipc_ev67: f64,
+    /// Instruction mix fractions: loads, stores, control, arithmetic,
+    /// integer multiplies, fp.
+    pub mix: [f64; 6],
+    /// Dynamic instruction count of the profiled run.
+    pub instructions: u64,
+}
+
+impl HpcProfile {
+    /// The seven counter metrics (the microarchitecture-dependent workload
+    /// space of Figure 1 / Table III).
+    pub fn counter_vector(&self) -> Vec<f64> {
+        vec![
+            self.ipc_ev56,
+            self.branch_mispredict_rate,
+            self.l1d_miss_rate,
+            self.l1i_miss_rate,
+            self.l2_miss_rate,
+            self.dtlb_miss_rate,
+            self.ipc_ev67,
+        ]
+    }
+
+    /// Instruction mix + the seven counters (the Figure 2 display vector).
+    pub fn extended_vector(&self) -> Vec<f64> {
+        let mut v = self.mix.to_vec();
+        v.extend(self.counter_vector());
+        v
+    }
+}
+
+/// Runs the EV56-like and EV67-like machines side by side over one trace and
+/// produces an [`HpcProfile`] — the stand-in for profiling the benchmark on
+/// real hardware with DCPI.
+#[derive(Debug, Clone, Default)]
+pub struct HpcSimulator {
+    ev56: Ev56Model,
+    ev67: Ev67Model,
+    class_counts: [u64; 6],
+    total: u64,
+}
+
+impl HpcSimulator {
+    /// Simulator with both machine models in their default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulator over custom machine models (e.g. for the machine-
+    /// sensitivity experiment: the same trace profiled on different
+    /// microarchitectures).
+    pub fn with_machines(ev56: Ev56Model, ev67: Ev67Model) -> Self {
+        HpcSimulator { ev56, ev67, class_counts: [0; 6], total: 0 }
+    }
+
+    /// Total instructions observed.
+    pub fn total_instructions(&self) -> u64 {
+        self.total
+    }
+
+    /// Access to the EV56-like model (e.g. for per-structure statistics).
+    pub fn ev56(&self) -> &Ev56Model {
+        &self.ev56
+    }
+
+    /// Access to the EV67-like model.
+    pub fn ev67(&self) -> &Ev67Model {
+        &self.ev67
+    }
+
+    /// Produce the profile.
+    pub fn finish(&self) -> HpcProfile {
+        let t = self.total.max(1) as f64;
+        HpcProfile {
+            ipc_ev56: self.ev56.ipc(),
+            branch_mispredict_rate: self.ev56.branch_stats().miss_rate(),
+            l1d_miss_rate: self.ev56.l1d_stats().miss_rate(),
+            l1i_miss_rate: self.ev56.l1i_stats().miss_rate(),
+            l2_miss_rate: self.ev56.l2_stats().miss_rate(),
+            dtlb_miss_rate: self.ev56.dtlb_stats().miss_rate(),
+            ipc_ev67: self.ev67.ipc(),
+            mix: [
+                self.class_counts[0] as f64 / t,
+                self.class_counts[1] as f64 / t,
+                self.class_counts[2] as f64 / t,
+                self.class_counts[3] as f64 / t,
+                self.class_counts[4] as f64 / t,
+                self.class_counts[5] as f64 / t,
+            ],
+            instructions: self.total,
+        }
+    }
+}
+
+impl TraceSink for HpcSimulator {
+    fn retire(&mut self, inst: &DynInst) {
+        self.total += 1;
+        let slot = match inst.class {
+            InstClass::Load => 0,
+            InstClass::Store => 1,
+            InstClass::Branch | InstClass::Jump => 2,
+            InstClass::IntAlu => 3,
+            InstClass::IntMul => 4,
+            InstClass::Fp => 5,
+        };
+        self.class_counts[slot] += 1;
+        self.ev56.retire(inst);
+        self.ev67.retire(inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::{regs::*, Asm, Vm};
+
+    fn profile_loop(iters: i64) -> HpcProfile {
+        let mut a = Asm::new();
+        let head = a.label();
+        a.li(T0, 0);
+        a.li(T2, 0x20_0000);
+        a.bind(head);
+        a.ld8(T3, T2, 0);
+        a.add(T4, T3, T0);
+        a.st8(T4, T2, 8);
+        a.addi(T2, T2, 16);
+        a.addi(T0, T0, 1);
+        a.slti(T1, T0, iters);
+        a.bne(T1, ZERO, head);
+        a.halt();
+        let mut sim = HpcSimulator::new();
+        Vm::new(a.assemble().unwrap()).run(&mut sim, 10_000_000).unwrap();
+        sim.finish()
+    }
+
+    #[test]
+    fn profile_has_sane_ranges() {
+        let p = profile_loop(5000);
+        assert!(p.ipc_ev56 > 0.0 && p.ipc_ev56 <= 2.0);
+        assert!(p.ipc_ev67 > 0.0 && p.ipc_ev67 <= 4.0);
+        for r in [
+            p.branch_mispredict_rate,
+            p.l1d_miss_rate,
+            p.l1i_miss_rate,
+            p.l2_miss_rate,
+            p.dtlb_miss_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&r), "rate out of range: {r}");
+        }
+        assert!((p.mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.counter_vector().len(), NUM_HPC_METRICS);
+        assert_eq!(p.extended_vector().len(), 13);
+    }
+
+    #[test]
+    fn streaming_loop_misses_l1d_but_predicts_branches() {
+        let p = profile_loop(20_000);
+        // 16-byte stride: every other access opens a new 32-byte line.
+        assert!(p.l1d_miss_rate > 0.1, "{}", p.l1d_miss_rate);
+        assert!(p.branch_mispredict_rate < 0.01, "{}", p.branch_mispredict_rate);
+        assert!(p.l1i_miss_rate < 0.01);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = profile_loop(100);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: HpcProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,110 @@
+//! Machine-configuration tests: the configurable models must respond to
+//! their parameters in the physically expected direction.
+
+use tinyisa::{regs::*, Asm, TraceSink, Vm};
+use uarch_sim::{CacheConfig, Ev56Model, Ev67Model, InOrderConfig, MemoryLatency, OooConfig};
+
+/// A loop streaming over 64 KiB with a data-dependent accumulator.
+fn streaming_vm() -> Vm {
+    let mut a = Asm::new();
+    let (outer, head) = (a.label(), a.label());
+    a.bind(outer);
+    a.li(T0, 0);
+    a.li(T2, 0x10_0000);
+    a.bind(head);
+    a.ld8(T3, T2, 0);
+    a.add(T4, T4, T3);
+    a.addi(T2, T2, 32);
+    a.addi(T0, T0, 1);
+    a.slti(T1, T0, 2048);
+    a.bne(T1, ZERO, head);
+    a.jmp(outer);
+    Vm::new(a.assemble().expect("assembles"))
+}
+
+fn run_ev56(cfg: InOrderConfig) -> Ev56Model {
+    let mut m = Ev56Model::with_config(cfg);
+    streaming_vm().run(&mut m, 120_000).expect("runs");
+    m
+}
+
+fn run_ev67(cfg: OooConfig) -> Ev67Model {
+    let mut m = Ev67Model::with_config(cfg);
+    streaming_vm().run(&mut m, 120_000).expect("runs");
+    m
+}
+
+#[test]
+fn bigger_l1_reduces_misses() {
+    let small = run_ev56(InOrderConfig {
+        l1: CacheConfig { size: 4 * 1024, line: 32, assoc: 1 },
+        ..InOrderConfig::default()
+    });
+    let big = run_ev56(InOrderConfig {
+        l1: CacheConfig { size: 128 * 1024, line: 32, assoc: 2 },
+        ..InOrderConfig::default()
+    });
+    assert!(
+        big.l1d_stats().miss_rate() < small.l1d_stats().miss_rate(),
+        "big {} vs small {}",
+        big.l1d_stats().miss_rate(),
+        small.l1d_stats().miss_rate()
+    );
+    assert!(big.ipc() > small.ipc());
+}
+
+#[test]
+fn prefetch_helps_streaming() {
+    let plain = run_ev56(InOrderConfig::default());
+    let pf = run_ev56(InOrderConfig { prefetch: true, ..InOrderConfig::default() });
+    assert!(
+        pf.l1d_stats().miss_rate() < plain.l1d_stats().miss_rate() * 0.7,
+        "prefetch {} vs plain {}",
+        pf.l1d_stats().miss_rate(),
+        plain.l1d_stats().miss_rate()
+    );
+    assert!(pf.ipc() > plain.ipc());
+}
+
+#[test]
+fn slower_memory_lowers_ipc() {
+    let fast = run_ev56(InOrderConfig {
+        lat: MemoryLatency { l1: 2, l2: 10, mem: 30, tlb_miss: 30 },
+        ..InOrderConfig::default()
+    });
+    let slow = run_ev56(InOrderConfig {
+        lat: MemoryLatency { l1: 2, l2: 10, mem: 300, tlb_miss: 30 },
+        ..InOrderConfig::default()
+    });
+    assert!(slow.ipc() < fast.ipc());
+}
+
+#[test]
+fn bigger_window_helps_the_ooo_machine() {
+    let narrow = run_ev67(OooConfig { window: 8, ..OooConfig::default() });
+    let wide = run_ev67(OooConfig { window: 256, ..OooConfig::default() });
+    assert!(
+        wide.ipc() >= narrow.ipc(),
+        "wide {} vs narrow {}",
+        wide.ipc(),
+        narrow.ipc()
+    );
+}
+
+#[test]
+fn default_configs_match_named_constructors() {
+    let mut a = Ev56Model::new();
+    let mut b = Ev56Model::with_config(InOrderConfig::default());
+    let mut vm1 = streaming_vm();
+    let mut vm2 = streaming_vm();
+    vm1.run(&mut a, 50_000).expect("runs");
+    vm2.run(&mut b, 50_000).expect("runs");
+    assert_eq!(a.ipc(), b.ipc());
+    assert_eq!(a.l1d_stats(), b.l1d_stats());
+}
+
+#[test]
+#[should_panic(expected = "window must be positive")]
+fn zero_window_rejected() {
+    let _ = Ev67Model::with_config(OooConfig { window: 0, ..OooConfig::default() });
+}

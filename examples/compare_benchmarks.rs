@@ -1,0 +1,69 @@
+//! Compare a handful of benchmarks the way the paper compares suites:
+//! z-score the characteristics, compute pairwise Euclidean distances, and
+//! report who is similar to whom — in both workload spaces, exposing the
+//! hardware-counter pitfall on a small scale.
+//!
+//! Run with: `cargo run --release --example compare_benchmarks`
+
+use mica_suite::prelude::*;
+use mica_suite::stats::pairwise_distances;
+
+fn main() {
+    let programs = ["CRC32", "sha", "mcf", "gzip", "FFT", "swim"];
+    let table = benchmark_table();
+    let specs: Vec<_> = programs
+        .iter()
+        .map(|p| table.iter().find(|b| &b.program == p).expect("benchmark exists").clone())
+        .collect();
+
+    let budget = 150_000;
+    println!("profiling {} benchmarks ({budget} instructions each)...", specs.len());
+    let mica_rows: Vec<Vec<f64>> = specs
+        .iter()
+        .map(|s| characterize(s, budget).expect("runs").into_values())
+        .collect();
+    let hpc_rows: Vec<Vec<f64>> = specs
+        .iter()
+        .map(|s| profile_hpc(s, budget).expect("runs").counter_vector())
+        .collect();
+
+    let mica = pairwise_distances(&zscore_normalize(&DataSet::from_rows(mica_rows)));
+    let hpc = pairwise_distances(&zscore_normalize(&DataSet::from_rows(hpc_rows)));
+
+    println!("\npairwise distances (microarchitecture-independent / hardware counters):");
+    print!("{:>8}", "");
+    for p in &programs {
+        print!("{p:>14}");
+    }
+    println!();
+    for (i, pi) in programs.iter().enumerate() {
+        print!("{pi:>8}");
+        for (j, _) in programs.iter().enumerate() {
+            if i == j {
+                print!("{:>14}", "-");
+            } else {
+                print!("{:>14}", format!("{:.1}/{:.1}", mica.get(i, j), hpc.get(i, j)));
+            }
+        }
+        println!();
+    }
+
+    // Most and least similar pair by inherent behavior.
+    let (mut best, mut worst) = ((0, 1, f64::INFINITY), (0, 1, 0.0f64));
+    for (i, j, d) in mica.iter_pairs() {
+        if d < best.2 {
+            best = (i, j, d);
+        }
+        if d > worst.2 {
+            worst = (i, j, d);
+        }
+    }
+    println!(
+        "\nmost similar inherent behavior:  {} and {} (distance {:.2})",
+        programs[best.0], programs[best.1], best.2
+    );
+    println!(
+        "most dissimilar inherent behavior: {} and {} (distance {:.2})",
+        programs[worst.0], programs[worst.1], worst.2
+    );
+}

@@ -1,0 +1,47 @@
+//! The extended characteristics beyond Table II: branch-behavior detail
+//! and the memory reuse-distance distribution (the categories the authors'
+//! released MICA tool added). Shows how they separate benchmarks the base
+//! working-set metrics describe only coarsely.
+//!
+//! Run with: `cargo run --release --example extended_metrics`
+
+use mica_suite::mica::{ExtendedSuite, EXTENDED_METRIC_NAMES};
+use mica_suite::prelude::*;
+
+fn main() {
+    let table = benchmark_table();
+    let programs = ["sha", "mcf", "swim", "gzip", "dijkstra"];
+
+    println!("{:<36}", "extended characteristic");
+    for p in &programs {
+        print!("{p:>10}");
+    }
+    println!();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for p in &programs {
+        let spec = table.iter().find(|b| &b.program == p).expect("exists");
+        let mut vm = spec.build_vm().expect("builds");
+        let mut suite = ExtendedSuite::new();
+        vm.run(&mut suite, 150_000).expect("runs");
+        rows.push(suite.finish_extended().to_vec());
+    }
+    for (m, name) in EXTENDED_METRIC_NAMES.iter().enumerate() {
+        print!("{name:<36}");
+        for r in &rows {
+            print!("{:>10.3}", r[m]);
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the rows: sha's tiny state reuses almost immediately and is\n\
+         nearly all-warm (cold fraction ~0.03), while mcf's pointer chase\n\
+         touches a fresh 16 MiB node stream — roughly every fifth access is a\n\
+         block never seen before (cold fraction ~0.22), which no cache size\n\
+         fixes. The branch rows split them on a different axis: swim's long\n\
+         vectorizable loops give huge basic blocks and near-zero transition\n\
+         rate; dijkstra's scan is short-blocked and flicker-prone. All of it\n\
+         is measured without choosing any particular cache or predictor."
+    );
+}

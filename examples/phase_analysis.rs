@@ -1,0 +1,56 @@
+//! Phase analysis: compute a MICA vector per execution interval and locate
+//! phase changes microarchitecture-independently — the phase-behavior idea
+//! of the SimPoint line of work the paper builds on, applied with MICA
+//! metrics instead of code signatures.
+//!
+//! The FFT benchmark is a natural subject: its butterfly stages are
+//! FP-dense with strided access, while its bit-reversal pass is
+//! integer/branch work with scattered accesses.
+//!
+//! Run with: `cargo run --release --example phase_analysis`
+
+use mica_suite::mica::{metrics, PhaseProfiler};
+use mica_suite::prelude::*;
+
+fn main() {
+    let table = benchmark_table();
+    let spec = table.iter().find(|b| b.program == "FFT").expect("FFT in table");
+    let mut vm = spec.build_vm().expect("builds");
+
+    let interval = 50_000u64;
+    let mut profiler = PhaseProfiler::new(interval);
+    vm.run(&mut profiler, 1_200_000).expect("runs");
+    let phases = profiler.into_phases();
+    let transitions = PhaseProfiler::transition_profile(&phases);
+
+    println!("{} intervals of {} instructions from {}\n", phases.len(), interval, spec.name());
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>10}",
+        "ivl", "pct_fp", "pct_ld", "pct_br", "transition"
+    );
+    for (i, p) in phases.iter().enumerate() {
+        let t = if i == 0 { String::from("-") } else { format!("{:.2}", transitions[i - 1]) };
+        println!(
+            "{i:>4} {:>8.3} {:>8.3} {:>8.3} {t:>10}",
+            p.get(metrics::PCT_FP),
+            p.get(metrics::PCT_LOADS),
+            p.get(metrics::PCT_CONTROL),
+        );
+    }
+
+    // Locate the strongest phase change.
+    if let Some((at, peak)) = transitions
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+    {
+        println!(
+            "\nstrongest phase change between intervals {at} and {}: distance {peak:.2}",
+            at + 1
+        );
+        println!(
+            "(the FFT alternates butterfly passes — high pct_fp — with its\n\
+             integer bit-reversal permutation: visible without any simulator)"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's core argument in miniature: find two benchmarks whose
+//! *hardware performance counters* look alike while their *inherent
+//! behavior* differs — the false positives of Table III.
+//!
+//! Run with: `cargo run --release --example pitfall`
+
+use mica_suite::prelude::*;
+use mica_suite::stats::pairwise_distances;
+
+fn main() {
+    // A spread of programs across suites.
+    let programs =
+        ["bzip2", "blast", "mcf", "gcc", "sha", "dijkstra", "qsort", "CRC32", "patricia", "ispell"];
+    let table = benchmark_table();
+    let specs: Vec<_> = programs
+        .iter()
+        .map(|p| table.iter().find(|b| &b.program == p).expect("exists").clone())
+        .collect();
+
+    println!("profiling {} benchmarks in both workload spaces...", specs.len());
+    let budget = 150_000;
+    let mica_rows: Vec<Vec<f64>> =
+        specs.iter().map(|s| characterize(s, budget).expect("runs").into_values()).collect();
+    let hpc_rows: Vec<Vec<f64>> =
+        specs.iter().map(|s| profile_hpc(s, budget).expect("runs").counter_vector()).collect();
+
+    let mica = pairwise_distances(&zscore_normalize(&DataSet::from_rows(mica_rows)));
+    let hpc = pairwise_distances(&zscore_normalize(&DataSet::from_rows(hpc_rows)));
+    let r = pearson(mica.values(), hpc.values());
+    println!("distance correlation between the two spaces: {r:.3}");
+
+    // Rank pairs by "pitfall score": small counter distance, large inherent
+    // distance.
+    let mut pairs: Vec<(usize, usize, f64, f64)> =
+        mica.iter_pairs().map(|(i, j, m)| (i, j, m, hpc.get(i, j))).collect();
+    pairs.sort_by(|a, b| {
+        let score_a = a.2 / (a.3 + 0.1);
+        let score_b = b.2 / (b.3 + 0.1);
+        score_b.partial_cmp(&score_a).expect("finite")
+    });
+
+    println!("\ntop deceptive pairs (similar counters, dissimilar programs):");
+    println!("{:<22} {:>12} {:>12}", "pair", "HPC dist", "MICA dist");
+    for &(i, j, m, h) in pairs.iter().take(3) {
+        println!("{:<22} {h:>12.2} {m:>12.2}", format!("{} vs {}", programs[i], programs[j]));
+    }
+    println!("\ntop honestly-similar pairs (close in both spaces):");
+    pairs.sort_by(|a, b| (a.2 + a.3).partial_cmp(&(b.2 + b.3)).expect("finite"));
+    for &(i, j, m, h) in pairs.iter().take(3) {
+        println!("{:<22} {h:>12.2} {m:>12.2}", format!("{} vs {}", programs[i], programs[j]));
+    }
+    println!(
+        "\nConclusion (the paper's): judging benchmark similarity from hardware\n\
+         counters alone can mislead — characterize inherent behavior instead."
+    );
+}

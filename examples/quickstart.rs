@@ -1,0 +1,30 @@
+//! Quickstart: characterize one benchmark with the 47 microarchitecture-
+//! independent metrics and its simulated hardware counters.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mica_suite::prelude::*;
+
+fn main() {
+    // Pick a benchmark out of the 122-instance table.
+    let table = benchmark_table();
+    let spec = table.iter().find(|b| b.program == "dijkstra").expect("dijkstra is in the table");
+    println!("benchmark: {}", spec.name());
+    println!("paper instruction count: {} M", spec.paper_icount_millions);
+
+    // Microarchitecture-independent characterization (one pass over the
+    // dynamic instruction stream).
+    let budget = 200_000;
+    let vector = characterize(spec, budget).expect("benchmark runs");
+    println!("\nall 47 characteristics:\n{vector}");
+
+    // Microarchitecture-dependent profile on the simulated EV56/EV67.
+    let hpc = profile_hpc(spec, budget).expect("benchmark runs");
+    println!("simulated hardware counters:");
+    println!("  IPC (EV56, in-order dual-issue):  {:.3}", hpc.ipc_ev56);
+    println!("  IPC (EV67, out-of-order 4-wide):  {:.3}", hpc.ipc_ev67);
+    println!("  branch misprediction rate:        {:.4}", hpc.branch_mispredict_rate);
+    println!("  L1D / L1I / L2 miss rates:        {:.4} / {:.4} / {:.4}",
+        hpc.l1d_miss_rate, hpc.l1i_miss_rate, hpc.l2_miss_rate);
+    println!("  D-TLB miss rate:                  {:.4}", hpc.dtlb_miss_rate);
+}

@@ -1,0 +1,83 @@
+//! Section VI at the suite level: load (or collect) the full 122-benchmark
+//! profile cache, cluster hierarchically in the 8 key dimensions, and
+//! report how each emerging suite relates to SPEC CPU2000 — the question
+//! the paper set out to answer.
+//!
+//! Run with: `cargo run --release --example suite_report`
+//! (respects `MICA_SCALE` / `MICA_RESULTS_DIR`)
+
+use mica_suite::experiments::analysis::mica_dataset;
+use mica_suite::experiments::profile::load_or_profile_all;
+use mica_suite::experiments::{results_dir, scale};
+use mica_suite::stats::{
+    hierarchical_cluster, pairwise_distances, select_features_k, silhouette, zscore_normalize,
+    GaConfig,
+};
+
+fn main() {
+    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
+        .expect("profiling succeeds");
+    let mica = mica_dataset(&set);
+    let ga = select_features_k(&mica, 8, GaConfig::default());
+    let z = zscore_normalize(&mica).select_columns(&ga.selected);
+    let d = pairwise_distances(&z);
+
+    // Hierarchical clustering, cut at the same granularity a user would
+    // choose for suite subsetting.
+    let dend = hierarchical_cluster(&d);
+    let k = 16;
+    let labels = dend.cut(k);
+    println!(
+        "hierarchical (average-linkage) clustering at K = {k}: silhouette {:.3}",
+        silhouette(&d, &labels)
+    );
+
+    // Per-suite: how close is each benchmark to its nearest SPEC benchmark?
+    let spec_idx: Vec<usize> = set
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.suite == "SPEC2000")
+        .map(|(i, _)| i)
+        .collect();
+    println!("\nmean distance to the nearest SPEC CPU2000 benchmark, per suite:");
+    let suites = ["BioInfoMark", "BioMetricsWorkload", "CommBench", "MediaBench", "MiBench"];
+    let mut ranked: Vec<(f64, &str)> = suites
+        .iter()
+        .map(|&suite| {
+            let members: Vec<usize> = set
+                .records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.suite == suite)
+                .map(|(i, _)| i)
+                .collect();
+            let mean = members
+                .iter()
+                .map(|&i| {
+                    spec_idx.iter().map(|&j| d.get(i, j)).fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / members.len() as f64;
+            (mean, suite)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    for (mean, suite) in &ranked {
+        println!("  {suite:<20} {mean:>6.2}");
+    }
+    println!(
+        "\n(paper's conclusion: BioInfoMark / BioMetricsWorkload / CommBench are the\n\
+         dissimilar ones; MediaBench and MiBench mostly overlap SPEC CPU2000)"
+    );
+
+    // Which benchmarks share no cluster with any SPEC benchmark?
+    let spec_clusters: std::collections::BTreeSet<usize> =
+        spec_idx.iter().map(|&i| labels[i]).collect();
+    println!("\nbenchmarks in clusters containing no SPEC CPU2000 member:");
+    for (i, r) in set.records.iter().enumerate() {
+        if r.suite != "SPEC2000" && !spec_clusters.contains(&labels[i]) {
+            println!("  {}", r.name);
+        }
+    }
+}

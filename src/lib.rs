@@ -1,0 +1,46 @@
+//! Facade crate for the MICA reproduction suite.
+//!
+//! Re-exports the public API of every crate in the workspace so examples and
+//! downstream users can depend on a single package:
+//!
+//! - [`isa`] — the tinyisa execution substrate (assembler, VM, trace events).
+//! - [`workloads`] — the 122 benchmark instances from 6 suites.
+//! - [`mica`] — the 47 microarchitecture-independent characteristics.
+//! - [`uarch`] — simulated hardware-performance-counter profiling.
+//! - [`stats`] — normalization, distances, feature selection, clustering.
+//! - [`experiments`] — the per-table/per-figure regeneration pipelines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mica_suite::prelude::*;
+//!
+//! // Pick one benchmark out of the 122 and characterize it.
+//! let spec = benchmark_table()
+//!     .iter()
+//!     .find(|b| b.program == "bitcount")
+//!     .unwrap()
+//!     .clone();
+//! let vector = characterize(&spec, 50_000).expect("benchmark runs");
+//! assert_eq!(vector.values().len(), 47);
+//! ```
+
+pub use mica_core as mica;
+pub use mica_experiments as experiments;
+pub use mica_stats as stats;
+pub use mica_workloads as workloads;
+pub use tinyisa as isa;
+pub use uarch_sim as uarch;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use mica_core::{CharacterizationSuite, MetricId, MicaVector, METRICS, NUM_METRICS};
+    pub use mica_experiments::profile::{characterize, profile_hpc, ProfileError};
+    pub use mica_stats::{
+        correlation_elimination, kmeans, pearson, zscore_normalize, DataSet, GaConfig,
+        GeneticSelector,
+    };
+    pub use mica_workloads::{benchmark_table, BenchmarkSpec, Suite};
+    pub use tinyisa::{Asm, DynInst, InstClass, TraceSink, Vm};
+    pub use uarch_sim::{HpcProfile, HpcSimulator};
+}

@@ -1,0 +1,193 @@
+//! Property-based tests spanning the crates: randomly generated tinyisa
+//! programs and randomly generated data sets must uphold the analyzers' and
+//! the statistics toolkit's invariants.
+
+use mica_suite::isa::{Asm, Reg, RunExit, Vm};
+use mica_suite::mica::{CharacterizationSuite, NUM_METRICS};
+use mica_suite::prelude::*;
+use mica_suite::stats::pairwise_distances;
+use mica_suite::uarch::HpcSimulator;
+use proptest::prelude::*;
+
+/// A tiny instruction menu for random straight-line program generation.
+#[derive(Debug, Clone)]
+enum RandOp {
+    Alu { d: u8, a: u8, b: u8, which: u8 },
+    Imm { d: u8, a: u8, imm: i32 },
+    Mul { d: u8, a: u8, b: u8 },
+    Fp { d: u8, a: u8, b: u8, which: u8 },
+    Load { d: u8, base_page: u8, off: u16 },
+    Store { s: u8, base_page: u8, off: u16 },
+}
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    prop_oneof![
+        (1u8..30, 0u8..30, 0u8..30, 0u8..6).prop_map(|(d, a, b, which)| RandOp::Alu { d, a, b, which }),
+        (1u8..30, 0u8..30, -1000i32..1000).prop_map(|(d, a, imm)| RandOp::Imm { d, a, imm }),
+        (1u8..30, 0u8..30, 0u8..30).prop_map(|(d, a, b)| RandOp::Mul { d, a, b }),
+        (0u8..12, 0u8..12, 0u8..12, 0u8..4).prop_map(|(d, a, b, which)| RandOp::Fp { d, a, b, which }),
+        (1u8..30, 0u8..8, 0u16..4000).prop_map(|(d, base_page, off)| RandOp::Load { d, base_page, off }),
+        (0u8..30, 0u8..8, 0u16..4000).prop_map(|(s, base_page, off)| RandOp::Store { s, base_page, off }),
+    ]
+}
+
+/// Assemble a random body inside a counted loop so every program runs long
+/// enough to exercise the analyzers yet always terminates by fuel.
+fn build_program(ops: &[RandOp]) -> Vm {
+    let mut a = Asm::new();
+    // Base registers x24..x31 point at distinct pages.
+    for p in 0..8u8 {
+        a.li(Reg(24 - p % 8), 0x20_0000 + (p as i64) * 4096);
+    }
+    let outer = a.label();
+    a.bind(outer);
+    for op in ops {
+        match *op {
+            RandOp::Alu { d, a: ra, b, which } => {
+                let (rd, r1, r2) = (Reg(d % 16 + 1), Reg(ra % 16), Reg(b % 16));
+                match which {
+                    0 => a.add(rd, r1, r2),
+                    1 => a.sub(rd, r1, r2),
+                    2 => a.xor(rd, r1, r2),
+                    3 => a.and(rd, r1, r2),
+                    4 => a.or(rd, r1, r2),
+                    _ => a.slt(rd, r1, r2),
+                }
+            }
+            RandOp::Imm { d, a: ra, imm } => a.addi(Reg(d % 16 + 1), Reg(ra % 16), imm as i64),
+            RandOp::Mul { d, a: ra, b } => a.mul(Reg(d % 16 + 1), Reg(ra % 16), Reg(b % 16)),
+            RandOp::Fp { d, a: fa, b, which } => {
+                use mica_suite::isa::FReg;
+                let (fd, f1, f2) = (FReg(d % 12), FReg(fa % 12), FReg(b % 12));
+                match which {
+                    0 => a.fadd(fd, f1, f2),
+                    1 => a.fsub(fd, f1, f2),
+                    2 => a.fmul(fd, f1, f2),
+                    _ => a.fmax(fd, f1, f2),
+                }
+            }
+            RandOp::Load { d, base_page, off } => {
+                a.ld8(Reg(d % 16 + 1), Reg(24 - base_page % 8), (off & !7) as i64)
+            }
+            RandOp::Store { s, base_page, off } => {
+                a.st8(Reg(s % 16), Reg(24 - base_page % 8), (off & !7) as i64)
+            }
+        }
+    }
+    // Loop forever; the test controls duration with fuel.
+    a.jmp(outer);
+    Vm::new(a.assemble().expect("generated program assembles"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_produce_valid_characterizations(
+        ops in proptest::collection::vec(rand_op(), 4..60),
+        fuel in 2_000u64..20_000,
+    ) {
+        let mut vm = build_program(&ops);
+        let mut suite = CharacterizationSuite::new();
+        let exit = vm.run(&mut suite, fuel).expect("random straight-line code cannot fault");
+        prop_assert_eq!(exit, RunExit::FuelExhausted);
+        let v = suite.finish();
+
+        // 47 finite values.
+        prop_assert_eq!(v.values().len(), NUM_METRICS);
+        for &x in v.values() {
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+        // Mix sums to 1.
+        let mix: f64 = v.values()[..6].iter().sum();
+        prop_assert!((mix - 1.0).abs() < 1e-9);
+        // ILP monotone in window size and at least 1 (unit-latency machine
+        // retires at least one instruction per cycle along the chain).
+        let ilp = &v.values()[6..10];
+        for w in ilp.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+        prop_assert!(ilp[0] >= 1.0 - 1e-9);
+        // All CDFs monotone: dependency distances and the four stride sets.
+        for range in [12..19, 23..28, 28..33, 33..38, 38..43] {
+            let slice = &v.values()[range];
+            for w in slice.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-9, "CDF not monotone: {slice:?}");
+            }
+        }
+        // Probabilities bounded.
+        for &p in v.values()[12..19].iter().chain(&v.values()[23..43]) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+        // PPM accuracies bounded.
+        for &acc in &v.values()[43..47] {
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn random_programs_produce_valid_hpc_profiles(
+        ops in proptest::collection::vec(rand_op(), 4..40),
+    ) {
+        let mut vm = build_program(&ops);
+        let mut sim = HpcSimulator::new();
+        vm.run(&mut sim, 8_000).expect("runs");
+        let p = sim.finish();
+        prop_assert!(p.ipc_ev56 > 0.0 && p.ipc_ev56 <= 2.0 + 1e-9);
+        prop_assert!(p.ipc_ev67 > 0.0 && p.ipc_ev67 <= 4.0 + 1e-9);
+        for r in [p.branch_mispredict_rate, p.l1d_miss_rate, p.l1i_miss_rate,
+                  p.l2_miss_rate, p.dtlb_miss_rate] {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn vm_is_deterministic(ops in proptest::collection::vec(rand_op(), 4..40)) {
+        let run = |ops: &[RandOp]| {
+            let mut vm = build_program(ops);
+            let mut suite = CharacterizationSuite::new();
+            vm.run(&mut suite, 6_000).expect("runs");
+            suite.finish()
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    #[test]
+    fn distance_matrix_properties(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 5), 3..12),
+    ) {
+        let ds = DataSet::from_rows(rows);
+        let z = zscore_normalize(&ds);
+        let d = pairwise_distances(&z);
+        let n = ds.rows();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(d.get(i, j) >= 0.0);
+                    prop_assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-12);
+                    for k in 0..n {
+                        if k != i && k != j {
+                            prop_assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_distances_never_exceed_full_distances(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 6), 4..10),
+        keep in proptest::collection::btree_set(0usize..6, 1..6),
+    ) {
+        let ds = DataSet::from_rows(rows);
+        let keep: Vec<usize> = keep.into_iter().collect();
+        let full = pairwise_distances(&ds);
+        let sub = pairwise_distances(&ds.select_columns(&keep));
+        for ((_, _, f), (_, _, s)) in full.iter_pairs().zip(sub.iter_pairs()) {
+            prop_assert!(s <= f + 1e-9, "dropping dimensions cannot grow a Euclidean distance");
+        }
+    }
+}
