@@ -1,0 +1,113 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container cannot fetch crates.io, so the workspace ships the
+//! `proptest` API subset its tests use: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, `any::<T>()`,
+//! `collection::{vec, btree_set}`, `prop_oneof!`, and the `proptest!` test
+//! macro with `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via the panic message of the assertion that tripped) and a
+//! deterministic per-test RNG seed derived from the test name, so failures
+//! reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy, TestRng, Union};
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A deterministic RNG for one named test (FNV-1a over the name).
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::ProptestConfig;
+}
+
+/// Define property tests: each `fn` runs its body for `cases` random
+/// samples of its `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases $cfg; $($rest)*);
+    };
+    (@cases $cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}

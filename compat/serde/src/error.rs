@@ -1,0 +1,34 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+/// Why a [`crate::Value`] tree could not be turned back into a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a free-form message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError { message: format!("missing field `{field}` while deserializing {ty}") }
+    }
+
+    /// The value had the wrong shape (e.g. a string where a number belongs).
+    pub fn type_mismatch(expected: &str, got: &crate::Value) -> Self {
+        DeError { message: format!("expected {expected}, got {}", got.kind()) }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace ships a
+//! minimal serialization framework with the same surface its code uses:
+//! `#[derive(Serialize, Deserialize)]` plus `serde_json::{to_string,
+//! from_str}`. Instead of upstream serde's visitor architecture, types
+//! convert to and from a small JSON-shaped [`Value`] tree; the `serde_json`
+//! sibling crate renders and parses that tree.
+//!
+//! The `derive` feature exists for manifest compatibility; the derive
+//! macros are always available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+pub mod value;
+
+pub use error::DeError;
+pub use value::{Number, Value};
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Represent `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}

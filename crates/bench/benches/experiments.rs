@@ -29,7 +29,7 @@ fn mini_set() -> ProfileSet {
         .step_by(6)
         .map(|s| profile_benchmark(s, 20_000).expect("benchmark profiles"))
         .collect();
-    ProfileSet { scale: 0.0, records }
+    ProfileSet { scale: 0.0, fingerprint: 0, records }
 }
 
 fn datasets(set: &ProfileSet) -> (DataSet, DataSet) {

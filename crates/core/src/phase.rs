@@ -80,10 +80,10 @@ impl PhaseProfiler {
             .windows(2)
             .map(|w| {
                 let mut d2 = 0.0;
-                for c in 0..dims {
-                    if max[c] > 0.0 {
-                        let a = w[0].values()[c] / max[c];
-                        let b = w[1].values()[c] / max[c];
+                for (c, &m) in max.iter().enumerate().take(dims) {
+                    if m > 0.0 {
+                        let a = w[0].values()[c] / m;
+                        let b = w[1].values()[c] / m;
                         d2 += (a - b) * (a - b);
                     }
                 }
@@ -98,7 +98,7 @@ impl TraceSink for PhaseProfiler {
         self.current.retire(inst);
         self.in_interval += 1;
         if self.in_interval == self.interval {
-            let done = std::mem::replace(&mut self.current, CharacterizationSuite::new());
+            let done = std::mem::take(&mut self.current);
             self.phases.push(done.finish());
             self.in_interval = 0;
         }

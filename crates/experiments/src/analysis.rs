@@ -90,7 +90,7 @@ mod tests {
                 },
             })
             .collect();
-        ProfileSet { scale: 1.0, records }
+        ProfileSet { scale: 1.0, fingerprint: 0, records }
     }
 
     #[test]

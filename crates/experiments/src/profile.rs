@@ -1,8 +1,8 @@
 //! Profiling: run benchmarks through both characterizations.
 
 use crate::results::{BenchRecord, ProfileSet};
-use mica_core::{CharacterizationSuite, MicaVector};
-use mica_workloads::{benchmark_table, BenchmarkSpec};
+use mica_core::{CharacterizationSuite, MicaVector, NUM_METRICS};
+use mica_workloads::{benchmark_table, table_fingerprint, BenchmarkSpec};
 use std::fmt;
 use std::path::Path;
 use tinyisa::{AsmError, DynInst, TraceSink, VmError};
@@ -15,6 +15,10 @@ pub enum ProfileError {
     Assemble(AsmError),
     /// The kernel faulted at runtime (a bug in the kernel code).
     Runtime(VmError),
+    /// The requested budget scale is not a finite positive number. Stores
+    /// the offending value's IEEE-754 bits (so the variant stays `Eq`);
+    /// recover it with [`f64::from_bits`].
+    InvalidScale(u64),
 }
 
 impl fmt::Display for ProfileError {
@@ -22,6 +26,9 @@ impl fmt::Display for ProfileError {
         match self {
             ProfileError::Assemble(e) => write!(f, "kernel failed to assemble: {e}"),
             ProfileError::Runtime(e) => write!(f, "kernel faulted: {e}"),
+            ProfileError::InvalidScale(bits) => {
+                write!(f, "budget scale must be finite and positive, got {}", f64::from_bits(*bits))
+            }
         }
     }
 }
@@ -103,26 +110,112 @@ pub fn profile_benchmark(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecor
     })
 }
 
-/// Profile all 122 benchmarks at budget multiplier `scale`, logging
-/// progress to stderr.
+/// Progress logging is on unless `MICA_QUIET` is set (benchmarks and tests
+/// that profile repeatedly set it to keep stderr usable).
+fn progress_enabled() -> bool {
+    std::env::var_os("MICA_QUIET").is_none()
+}
+
+/// Reject scales that would produce meaningless budgets. NaN, infinities,
+/// zero, and negatives all previously slipped through the `as u64` cast
+/// (NaN casts to 0, infinity saturates) and silently profiled garbage.
+fn validate_scale(scale: f64) -> Result<(), ProfileError> {
+    if scale.is_finite() && scale > 0.0 {
+        Ok(())
+    } else {
+        Err(ProfileError::InvalidScale(scale.to_bits()))
+    }
+}
+
+/// Scaled per-benchmark budget, floored at 10 000 instructions so tiny
+/// scales still exercise every kernel, with an explicit saturation at
+/// `u64::MAX` instead of relying on the cast's silent clamping. `scale`
+/// must already be validated.
+fn scaled_budget(spec: &BenchmarkSpec, scale: f64) -> u64 {
+    let budget = (spec.instruction_budget() as f64 * scale).max(10_000.0);
+    if budget >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        budget as u64
+    }
+}
+
+/// Fingerprint identifying what a [`ProfileSet`] was collected from: the
+/// workload-table fingerprint mixed with the metric count. A cache whose
+/// fingerprint differs was produced by a different benchmark table or a
+/// different characterization layout and must not be reused.
+pub fn profile_fingerprint() -> u64 {
+    table_fingerprint() ^ (NUM_METRICS as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn finish_set(
+    scale: f64,
+    results: Vec<Result<BenchRecord, ProfileError>>,
+) -> Result<ProfileSet, ProfileError> {
+    let mut records = Vec::with_capacity(results.len());
+    for r in results {
+        // Errors surface in table order, so the reported failure is the
+        // same benchmark regardless of parallel scheduling.
+        records.push(r?);
+    }
+    Ok(ProfileSet { scale, fingerprint: profile_fingerprint(), records })
+}
+
+/// Profile all 122 benchmarks at budget multiplier `scale` on the
+/// [`mica_par`] worker pool, logging progress to stderr.
+///
+/// Results are merged in Table I order and each benchmark's simulation is
+/// self-contained (seeded VM, no shared state), so the output is
+/// bit-identical to [`profile_all_serial`] for any thread count.
 ///
 /// # Errors
 ///
-/// Fails on the first benchmark that cannot be profiled (all are expected
-/// to succeed; failure indicates a kernel bug).
+/// [`ProfileError::InvalidScale`] for a non-finite or non-positive scale;
+/// otherwise fails on the first benchmark (in table order) that cannot be
+/// profiled — all are expected to succeed, so failure indicates a kernel
+/// bug.
 pub fn profile_all(scale: f64) -> Result<ProfileSet, ProfileError> {
+    validate_scale(scale)?;
     let table = benchmark_table();
-    let mut records = Vec::with_capacity(table.len());
-    for (i, spec) in table.iter().enumerate() {
-        let budget = ((spec.instruction_budget() as f64) * scale).max(10_000.0) as u64;
-        eprintln!("[{:3}/{}] {} ({} insts)", i + 1, table.len(), spec.name(), budget);
-        records.push(profile_benchmark(spec, budget)?);
-    }
-    Ok(ProfileSet { scale, records })
+    let total = table.len();
+    let progress = mica_par::Progress::new();
+    let results = mica_par::par_map(&table, |spec| {
+        let budget = scaled_budget(spec, scale);
+        let rec = profile_benchmark(spec, budget);
+        let done = progress.tick();
+        if progress_enabled() {
+            eprintln!("[{done:3}/{total}] {} ({budget} insts)", spec.name());
+        }
+        rec
+    });
+    finish_set(scale, results)
 }
 
-/// Load cached profiles from `path` if they exist at the requested scale;
-/// otherwise profile everything and cache the result.
+/// Single-threaded reference implementation of [`profile_all`].
+///
+/// # Errors
+///
+/// See [`profile_all`].
+pub fn profile_all_serial(scale: f64) -> Result<ProfileSet, ProfileError> {
+    validate_scale(scale)?;
+    let table = benchmark_table();
+    let results = table
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let budget = scaled_budget(spec, scale);
+            if progress_enabled() {
+                eprintln!("[{:3}/{}] {} ({budget} insts)", i + 1, table.len(), spec.name());
+            }
+            profile_benchmark(spec, budget)
+        })
+        .collect();
+    finish_set(scale, results)
+}
+
+/// Load cached profiles from `path` if they exist at the requested scale
+/// and carry the current [`profile_fingerprint`]; otherwise profile
+/// everything and cache the result.
 ///
 /// # Errors
 ///
@@ -130,12 +223,19 @@ pub fn profile_all(scale: f64) -> Result<ProfileSet, ProfileError> {
 /// re-profiling, and a failure to *write* the cache is reported on stderr
 /// but does not fail the run.
 pub fn load_or_profile_all(path: &Path, scale: f64) -> Result<ProfileSet, ProfileError> {
+    validate_scale(scale)?;
     if let Ok(set) = ProfileSet::load(path) {
-        if (set.scale - scale).abs() < 1e-12 && set.records.len() == benchmark_table().len() {
+        if (set.scale - scale).abs() < 1e-12
+            && set.fingerprint == profile_fingerprint()
+            && set.records.len() == benchmark_table().len()
+        {
             eprintln!("loaded {} cached profiles from {}", set.records.len(), path.display());
             return Ok(set);
         }
-        eprintln!("cache at {} is stale (scale or size mismatch); re-profiling", path.display());
+        eprintln!(
+            "cache at {} is stale (scale, fingerprint, or size mismatch); re-profiling",
+            path.display()
+        );
     }
     let set = profile_all(scale)?;
     if let Err(e) = set.save(path) {
@@ -177,6 +277,43 @@ mod tests {
         assert_eq!(rec.mica, mica, "same trace, same characterization");
         assert_eq!(rec.hpc, hpc);
         assert_eq!(rec.executed_instructions, 20_000);
+    }
+
+    #[test]
+    fn non_finite_or_non_positive_scales_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, -1.0] {
+            let err = profile_all(bad).unwrap_err();
+            assert_eq!(err, ProfileError::InvalidScale(bad.to_bits()), "scale {bad}");
+            assert_eq!(load_or_profile_all(Path::new("/nonexistent"), bad).unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn budget_floors_at_10k_and_saturates() {
+        let s = spec("sha");
+        assert_eq!(scaled_budget(&s, 1e-15), 10_000);
+        assert_eq!(scaled_budget(&s, f64::MAX), u64::MAX);
+        let expected = (s.instruction_budget() as f64 * 2.0) as u64;
+        assert_eq!(scaled_budget(&s, 2.0), expected);
+    }
+
+    #[test]
+    fn cache_with_current_fingerprint_is_reused() {
+        let dir = std::env::temp_dir().join("mica_cache_fingerprint_test");
+        let path = dir.join("profiles.json");
+        // A fake-but-well-formed cache with the current fingerprint: 122
+        // copies of one real record. load_or_profile_all must accept it
+        // verbatim instead of re-profiling.
+        let rec = profile_benchmark(&spec("CRC32"), 10_000).unwrap();
+        let fake = crate::results::ProfileSet {
+            scale: 0.25,
+            fingerprint: profile_fingerprint(),
+            records: vec![rec; benchmark_table().len()],
+        };
+        fake.save(&path).unwrap();
+        let loaded = load_or_profile_all(&path, 0.25).unwrap();
+        assert_eq!(loaded, fake);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

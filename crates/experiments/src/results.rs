@@ -33,6 +33,12 @@ pub struct BenchRecord {
 pub struct ProfileSet {
     /// The `MICA_SCALE` the profiles were collected at.
     pub scale: f64,
+    /// Fingerprint of the benchmark table and metric layout the profiles
+    /// were collected from (see [`crate::profile::profile_fingerprint`]).
+    /// Caches
+    /// written before this field existed fail to deserialize and are
+    /// re-profiled — exactly the safe behavior for provenance-less data.
+    pub fingerprint: u64,
     /// One record per benchmark, in Table I order.
     pub records: Vec<BenchRecord>,
 }
@@ -131,7 +137,7 @@ mod tests {
     fn profile_set_round_trips() {
         let dir = std::env::temp_dir().join("mica_results_test");
         let path = dir.join("profiles.json");
-        let set = ProfileSet { scale: 1.0, records: vec![record("a"), record("b")] };
+        let set = ProfileSet { scale: 1.0, fingerprint: 42, records: vec![record("a"), record("b")] };
         set.save(&path).unwrap();
         let loaded = ProfileSet::load(&path).unwrap();
         assert_eq!(set, loaded);

@@ -1,0 +1,36 @@
+//! The parallel profiling pipeline must be bit-identical to its serial
+//! reference — the cached JSON artifacts are scientific outputs, and a
+//! thread-count-dependent byte in them would poison every downstream
+//! comparison.
+//!
+//! `MICA_THREADS` is pinned to 4 so the parallel path genuinely runs
+//! multi-threaded even on single-core CI machines.
+
+use mica_experiments::profile::{profile_all, profile_all_serial};
+
+#[test]
+fn parallel_profile_all_is_byte_identical_to_serial() {
+    std::env::set_var("MICA_THREADS", "4");
+    std::env::set_var("MICA_QUIET", "1");
+    // Tiny scale: every budget hits the 10 000-instruction floor, so the
+    // full 122-benchmark sweep stays fast while still exercising every
+    // kernel through both characterizations.
+    let par = profile_all(1e-9).expect("parallel profiling succeeds");
+    let ser = profile_all_serial(1e-9).expect("serial profiling succeeds");
+    assert_eq!(par.records.len(), 122);
+    assert_eq!(par, ser, "parallel and serial profile sets must be equal");
+    let par_json = serde_json::to_string(&par).expect("serializes");
+    let ser_json = serde_json::to_string(&ser).expect("serializes");
+    assert_eq!(par_json, ser_json, "serialized artifacts must match byte for byte");
+}
+
+#[test]
+fn profile_order_follows_table_order_not_completion_order() {
+    std::env::set_var("MICA_THREADS", "4");
+    std::env::set_var("MICA_QUIET", "1");
+    let set = profile_all(1e-9).expect("profiles");
+    let expected: Vec<String> =
+        mica_workloads::benchmark_table().iter().map(|s| s.name()).collect();
+    let got: Vec<String> = set.records.iter().map(|r| r.name.clone()).collect();
+    assert_eq!(got, expected);
+}

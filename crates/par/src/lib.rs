@@ -1,0 +1,217 @@
+//! A small deterministic parallel-map layer on `std::thread::scope`.
+//!
+//! The profiling pipeline runs 122 independent benchmark simulations and
+//! the GA fitness pass evaluates whole populations of independent genomes;
+//! both are embarrassingly parallel but must stay **bit-for-bit identical**
+//! to their serial counterparts (the experiments are scientific artifacts —
+//! see CounterPoint's reproducibility argument). This crate provides that:
+//!
+//! - work distribution is dynamic (a lock-free shared counter hands out
+//!   chunks of indices, so fast workers steal remaining work from the tail),
+//! - but each result is written into the slot of its *input index*, so the
+//!   merged output is always in input order, independent of scheduling, and
+//! - the worker function receives nothing but the item, so a computation
+//!   that is deterministic serially stays deterministic in parallel.
+//!
+//! Thread count comes from [`num_threads`]: the `MICA_THREADS` environment
+//! variable when set, else the machine's available parallelism. With one
+//! thread every entry point degenerates to an inline serial loop with zero
+//! thread overhead.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Upper bound on indices claimed at once; keeps the tail of the schedule
+/// fine-grained enough to balance uneven item costs (benchmark budgets vary
+/// ~8x across the table).
+const MAX_CHUNK: usize = 16;
+
+/// The worker-pool size: `MICA_THREADS` if set to a positive integer, else
+/// the machine's available parallelism, else 1.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("MICA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid MICA_THREADS={v:?}");
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One output slot, written exactly once by whichever worker claims its
+/// index.
+struct Slot<R>(UnsafeCell<MaybeUninit<R>>);
+
+/// SAFETY: the claim counter hands each index to exactly one worker, so no
+/// two threads ever touch the same slot; the scope joins every worker
+/// before the slots are read.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+/// Map `f` over `0..n` on the worker pool, returning results in index
+/// order.
+///
+/// Equivalent to `(0..n).map(f).collect()` — including bit-identical
+/// results when `f` is pure — but executed by [`num_threads`] workers
+/// stealing chunks of indices from a shared atomic counter.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`. (Results computed before the panic are
+/// leaked, not dropped; all workloads in this crate's users treat a panic
+/// as fatal.)
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Aim for several chunks per worker so uneven item costs rebalance.
+    let chunk = (n / (threads * 4)).clamp(1, MAX_CHUNK);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit()))).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+                    let value = f(i);
+                    // SAFETY: index i was claimed exactly once (fetch_add
+                    // hands out disjoint ranges), so this slot is written by
+                    // this thread only.
+                    unsafe { (*slot.0.get()).write(value) };
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            // SAFETY: every index below `n` was claimed and written before
+            // the scope joined.
+            unsafe { s.0.into_inner().assume_init() }
+        })
+        .collect()
+}
+
+/// Map `f` over a slice on the worker pool, returning results in item
+/// order. See [`par_map_indexed`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// A lock-free completion counter for progress reporting from workers.
+///
+/// `tick` increments and returns the new count; workers can use it to
+/// render `[done/total]` style progress without a mutex (lines may
+/// interleave across threads, but the counter itself never misses).
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: AtomicUsize,
+}
+
+impl Progress {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Progress::default()
+    }
+
+    /// Record one completed item; returns the total completed so far.
+    pub fn tick(&self) -> usize {
+        self.done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Completed items so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let parallel = par_map(&items, |x| x * x + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let out = par_map_indexed(counters.len(), |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..counters.len()).collect::<Vec<_>>());
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_work_still_merges_in_order() {
+        // Index-dependent busy work so chunks finish out of order.
+        let out = par_map_indexed(64, |i| {
+            let spin = if i % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn non_copy_results_are_moved_intact() {
+        let out = par_map_indexed(100, |i| vec![i; i % 5]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    fn progress_counts_all_ticks() {
+        let p = Progress::new();
+        par_map_indexed(500, |i| {
+            p.tick();
+            i
+        });
+        assert_eq!(p.done(), 500);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -61,17 +61,40 @@ impl CondensedDistances {
     }
 }
 
+/// One row's block of the condensed layout: distances from item `i` to
+/// every item after it.
+fn row_block(ds: &DataSet, i: usize) -> Vec<f64> {
+    let a = ds.row(i);
+    (i + 1..ds.rows())
+        .map(|j| {
+            let b = ds.row(j);
+            let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            d2.sqrt()
+        })
+        .collect()
+}
+
 /// Euclidean distances between all row pairs of `ds`.
+///
+/// Row blocks are computed on the [`mica_par`] worker pool and concatenated
+/// in row order, so the result is bit-identical to
+/// [`pairwise_distances_serial`] regardless of thread count.
 pub fn pairwise_distances(ds: &DataSet) -> CondensedDistances {
+    let n = ds.rows();
+    let blocks = mica_par::par_map_indexed(n.saturating_sub(1), |i| row_block(ds, i));
+    let mut values = Vec::with_capacity(n * (n - 1) / 2);
+    for block in blocks {
+        values.extend(block);
+    }
+    CondensedDistances { n, values }
+}
+
+/// Single-threaded reference implementation of [`pairwise_distances`].
+pub fn pairwise_distances_serial(ds: &DataSet) -> CondensedDistances {
     let n = ds.rows();
     let mut values = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
-        let a = ds.row(i);
-        for j in i + 1..n {
-            let b = ds.row(j);
-            let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
-            values.push(d2.sqrt());
-        }
+        values.extend(row_block(ds, i));
     }
     CondensedDistances { n, values }
 }
@@ -157,6 +180,18 @@ mod tests {
     #[test]
     fn pearson_of_constant_is_zero() {
         assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let rows: Vec<Vec<f64>> = (0..37)
+            .map(|i| (0..8).map(|k| ((i * 13 + k * 7) % 29) as f64 / 3.0 - 4.5).collect())
+            .collect();
+        let ds = DataSet::from_rows(rows);
+        let par = pairwise_distances(&ds);
+        let ser = pairwise_distances_serial(&ds);
+        assert_eq!(par, ser);
+        assert!(par.values().iter().zip(ser.values()).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

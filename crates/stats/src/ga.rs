@@ -209,16 +209,37 @@ impl GeneticSelector {
         best.0
     }
 
-    /// Run the GA to completion.
+    /// Score a batch of genomes, optionally on the worker pool. Fitness is
+    /// RNG-free, so parallel evaluation returns bit-identical scores in the
+    /// same order as a serial pass.
+    fn evaluate(&self, genomes: Vec<u64>, parallel: bool) -> Vec<(u64, f64)> {
+        if parallel {
+            mica_par::par_map(&genomes, |&g| (g, self.fitness(g)))
+        } else {
+            genomes.into_iter().map(|g| (g, self.fitness(g))).collect()
+        }
+    }
+
+    /// Run the GA to completion, evaluating population fitness on the
+    /// worker pool. Bit-identical to [`run_serial`](Self::run_serial): all
+    /// RNG consumption (breeding) happens serially; only the RNG-free
+    /// fitness scoring is distributed, and scores are merged back in
+    /// breeding order before the (stable) ranking sort.
     pub fn run(&self) -> GaResult {
+        self.run_impl(true)
+    }
+
+    /// Single-threaded reference run; see [`run`](Self::run).
+    pub fn run_serial(&self) -> GaResult {
+        self.run_impl(false)
+    }
+
+    fn run_impl(&self, parallel: bool) -> GaResult {
         let cfg = self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut pop: Vec<(u64, f64)> = (0..cfg.population.max(2))
-            .map(|_| {
-                let g = self.random_genome(&mut rng);
-                (g, self.fitness(g))
-            })
-            .collect();
+        let seeds: Vec<u64> =
+            (0..cfg.population.max(2)).map(|_| self.random_genome(&mut rng)).collect();
+        let mut pop = self.evaluate(seeds, parallel);
         pop.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
         let mut history = Vec::new();
@@ -227,8 +248,9 @@ impl GeneticSelector {
         let mut gens = 0;
         for _ in 0..cfg.generations {
             gens += 1;
-            let mut next: Vec<(u64, f64)> = pop[..cfg.elitism.min(pop.len())].to_vec();
-            while next.len() < pop.len() {
+            let elites = cfg.elitism.min(pop.len());
+            let mut children = Vec::with_capacity(pop.len() - elites);
+            while elites + children.len() < pop.len() {
                 let a = self.tournament_pick(&pop, &mut rng);
                 let b = self.tournament_pick(&pop, &mut rng);
                 let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
@@ -243,9 +265,10 @@ impl GeneticSelector {
                         child ^= 1 << c;
                     }
                 }
-                child = self.repair(child, &mut rng);
-                next.push((child, self.fitness(child)));
+                children.push(self.repair(child, &mut rng));
             }
+            let mut next: Vec<(u64, f64)> = pop[..elites].to_vec();
+            next.extend(self.evaluate(children, parallel));
             next.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             pop = next;
             history.push(pop[0].1);
@@ -371,6 +394,17 @@ mod tests {
         let b = select_features(&ds, cfg);
         assert_eq!(a.selected, b.selected);
         assert_eq!(a.fitness, b.fitness);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let ds = structured();
+        let cfg = GaConfig { generations: 60, ..GaConfig::default() };
+        let sel = GeneticSelector::new(&ds, cfg);
+        let par = sel.run();
+        let ser = sel.run_serial();
+        assert_eq!(par, ser, "parallel fitness evaluation must not change the evolution");
+        assert!(par.history.iter().zip(&ser.history).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl Dendrogram {
         // Apply the first n - k merges with a union-find.
         let total = self.n + self.merges.len();
         let mut parent: Vec<usize> = (0..total).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -63,16 +63,15 @@ impl Dendrogram {
         // Densely renumber the roots.
         let mut labels = vec![0usize; self.n];
         let mut seen: Vec<usize> = Vec::new();
-        for i in 0..self.n {
+        for (i, label) in labels.iter_mut().enumerate() {
             let r = find(&mut parent, i);
-            let label = match seen.iter().position(|&s| s == r) {
+            *label = match seen.iter().position(|&s| s == r) {
                 Some(p) => p,
                 None => {
                     seen.push(r);
                     seen.len() - 1
                 }
             };
-            labels[i] = label;
         }
         labels
     }
@@ -110,7 +109,7 @@ pub fn hierarchical_cluster(d: &CondensedDistances) -> Dendrogram {
         }
         let (i, j, height) = best;
         let (id_b, mut members_b) = clusters.swap_remove(j);
-        let (id_a, members_a) = std::mem::replace(&mut clusters[i], (0, Vec::new()));
+        let (id_a, members_a) = std::mem::take(&mut clusters[i]);
         let mut members = members_a;
         members.append(&mut members_b);
         clusters[i] = (next_id, members);

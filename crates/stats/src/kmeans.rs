@@ -107,8 +107,8 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
             pick
         };
         let c = ds.row(next).to_vec();
-        for i in 0..n {
-            d2[i] = d2[i].min(sq_dist(ds.row(i), &c));
+        for (i, w) in d2.iter_mut().enumerate() {
+            *w = w.min(sq_dist(ds.row(i), &c));
         }
         centroids.push(c);
     }
@@ -117,15 +117,15 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
     let mut labels = vec![0usize; n];
     for _ in 0..100 {
         let mut changed = false;
-        for i in 0..n {
+        for (i, label) in labels.iter_mut().enumerate() {
             let (best, _) = centroids
                 .iter()
                 .enumerate()
                 .map(|(j, c)| (j, sq_dist(ds.row(i), c)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .expect("k >= 1");
-            if labels[i] != best {
-                labels[i] = best;
+            if *label != best {
+                *label = best;
                 changed = true;
             }
         }
@@ -133,8 +133,8 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
         let mut counts = vec![0usize; k];
         for i in 0..n {
             counts[labels[i]] += 1;
-            for c in 0..ds.cols() {
-                sums[labels[i]][c] += ds.get(i, c);
+            for (c, s) in sums[labels[i]].iter_mut().enumerate() {
+                *s += ds.get(i, c);
             }
         }
         for j in 0..k {

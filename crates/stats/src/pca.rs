@@ -33,9 +33,9 @@ fn jacobi(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     for _sweep in 0..100 {
         // Largest off-diagonal element.
         let mut off = 0.0;
-        for i in 0..n {
-            for j in i + 1..n {
-                off += a[i][j] * a[i][j];
+        for (i, row) in a.iter().enumerate() {
+            for x in &row[i + 1..] {
+                off += x * x;
             }
         }
         if off < 1e-20 {
@@ -50,23 +50,23 @@ fn jacobi(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
-                for k in 0..n {
-                    let akp = a[k][p];
-                    let akq = a[k][q];
-                    a[k][p] = c * akp - s * akq;
-                    a[k][q] = s * akp + c * akq;
+                for row in a.iter_mut() {
+                    let akp = row[p];
+                    let akq = row[q];
+                    row[p] = c * akp - s * akq;
+                    row[q] = s * akp + c * akq;
                 }
-                for k in 0..n {
-                    let apk = a[p][k];
-                    let aqk = a[q][k];
-                    a[p][k] = c * apk - s * aqk;
-                    a[q][k] = s * apk + c * aqk;
+                let (top, bottom) = a.split_at_mut(q);
+                for (apk, aqk) in top[p].iter_mut().zip(bottom[0].iter_mut()) {
+                    let (x, y) = (*apk, *aqk);
+                    *apk = c * x - s * y;
+                    *aqk = s * x + c * y;
                 }
-                for k in 0..n {
-                    let vkp = v[k][p];
-                    let vkq = v[k][q];
-                    v[k][p] = c * vkp - s * vkq;
-                    v[k][q] = s * vkp + c * vkq;
+                for row in v.iter_mut() {
+                    let vkp = row[p];
+                    let vkq = row[q];
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
                 }
             }
         }
@@ -92,12 +92,12 @@ impl Pca {
         // Covariance of z-scored data = correlation matrix.
         let mut cov = vec![vec![0.0; d]; d];
         for (i, cov_row) in cov.iter_mut().enumerate() {
-            for j in 0..d {
+            for (j, cr) in cov_row.iter_mut().enumerate() {
                 let mut s = 0.0;
                 for r in 0..z.rows() {
                     s += z.get(r, i) * z.get(r, j);
                 }
-                cov_row[j] = s / n;
+                *cr = s / n;
             }
         }
         let (eigenvalues, vectors) = jacobi(cov);
@@ -151,13 +151,13 @@ impl Pca {
         for r in 0..ds.rows() {
             for (j, comp) in self.components.iter().take(k).enumerate() {
                 let mut s = 0.0;
-                for c in 0..ds.cols() {
+                for (c, &cw) in comp.iter().enumerate() {
                     let z = if self.sds[c] > 0.0 {
                         (ds.get(r, c) - self.means[c]) / self.sds[c]
                     } else {
                         0.0
                     };
-                    s += z * comp[c];
+                    s += z * cw;
                 }
                 out.set(r, j, s);
             }

@@ -17,7 +17,7 @@ fn header(title: &str) -> String {
             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" ",
             "viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"11\">\n",
             "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n",
-            "<text x=\"{cx}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{t}</text>\n"
+            "<text x=\"{cx}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{t}</text>"
         ),
         w = W,
         h = H,
@@ -66,7 +66,7 @@ fn axes(svg: &mut String, xs: &Scale, ys: &Scale, x_label: &str, y_label: &str) 
     let _ = write!(
         svg,
         "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n\
-         <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>\n",
+         <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>",
         m = MARGIN,
         b = H - MARGIN,
         r = W - MARGIN / 2.0,
@@ -78,7 +78,7 @@ fn axes(svg: &mut String, xs: &Scale, ys: &Scale, x_label: &str, y_label: &str) 
         let _ = write!(
             svg,
             "<line x1=\"{px}\" y1=\"{b}\" x2=\"{px}\" y2=\"{b2}\" stroke=\"black\"/>\n\
-             <text x=\"{px}\" y=\"{ty}\" text-anchor=\"middle\">{fx:.2}</text>\n",
+             <text x=\"{px}\" y=\"{ty}\" text-anchor=\"middle\">{fx:.2}</text>",
             b = H - MARGIN,
             b2 = H - MARGIN + 5.0,
             ty = H - MARGIN + 18.0,
@@ -88,7 +88,7 @@ fn axes(svg: &mut String, xs: &Scale, ys: &Scale, x_label: &str, y_label: &str) 
         let _ = write!(
             svg,
             "<line x1=\"{m}\" y1=\"{py}\" x2=\"{m2}\" y2=\"{py}\" stroke=\"black\"/>\n\
-             <text x=\"{tx}\" y=\"{py2}\" text-anchor=\"end\">{fy:.2}</text>\n",
+             <text x=\"{tx}\" y=\"{py2}\" text-anchor=\"end\">{fy:.2}</text>",
             m = MARGIN,
             m2 = MARGIN - 5.0,
             tx = MARGIN - 8.0,
@@ -98,7 +98,7 @@ fn axes(svg: &mut String, xs: &Scale, ys: &Scale, x_label: &str, y_label: &str) 
     let _ = write!(
         svg,
         "<text x=\"{cx}\" y=\"{by}\" text-anchor=\"middle\">{xl}</text>\n\
-         <text x=\"16\" y=\"{cy}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {cy})\">{yl}</text>\n",
+         <text x=\"16\" y=\"{cy}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {cy})\">{yl}</text>",
         cx = W / 2.0,
         by = H - 14.0,
         cy = H / 2.0,
@@ -116,9 +116,9 @@ pub fn svg_scatter(title: &str, x_label: &str, y_label: &str, points: &[(f64, f6
     let ys = Scale { lo: ylo, hi: yhi, out_lo: H - MARGIN, out_hi: MARGIN / 2.0 };
     axes(&mut svg, &xs, &ys, x_label, y_label);
     for &(x, y) in points {
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2\" fill=\"steelblue\" fill-opacity=\"0.5\"/>\n",
+            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2\" fill=\"steelblue\" fill-opacity=\"0.5\"/>",
             xs.map(x),
             ys.map(y)
         );
@@ -147,14 +147,14 @@ pub fn svg_lines(
         let color = COLORS[i % COLORS.len()];
         let path: Vec<String> =
             pts.iter().map(|&(x, y)| format!("{:.2},{:.2}", xs.map(x), ys.map(y))).collect();
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
             path.join(" ")
         );
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"{x}\" y=\"{y}\" fill=\"{color}\">{n}</text>\n",
+            "<text x=\"{x}\" y=\"{y}\" fill=\"{color}\">{n}</text>",
             x = W - MARGIN * 2.5,
             y = MARGIN / 2.0 + 16.0 * (i + 1) as f64,
             n = xml_escape(name),
@@ -182,9 +182,9 @@ pub fn svg_grouped_bars(
         for (si, (_, vals)) in series.iter().enumerate() {
             let v = vals.get(gi).copied().unwrap_or(0.0);
             let bh = (v / hi).clamp(0.0, 1.0) * plot_h;
-            let _ = write!(
+            let _ = writeln!(
                 svg,
-                "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\"/>\n",
+                "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\"/>",
                 gx + si as f64 * bar_w,
                 H - MARGIN - bh,
                 bar_w * 0.95,
@@ -192,10 +192,10 @@ pub fn svg_grouped_bars(
                 COLORS[si % COLORS.len()],
             );
         }
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<text x=\"{:.2}\" y=\"{:.2}\" text-anchor=\"end\" font-size=\"8\" \
-             transform=\"rotate(-60 {x:.2} {y:.2})\">{}</text>\n",
+             transform=\"rotate(-60 {x:.2} {y:.2})\">{}</text>",
             gx + group_w * 0.4,
             H - MARGIN + 12.0,
             xml_escape(label),
@@ -204,18 +204,18 @@ pub fn svg_grouped_bars(
         );
     }
     for (si, (name, _)) in series.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"{x}\" y=\"{y}\" fill=\"{c}\">{n}</text>\n",
+            "<text x=\"{x}\" y=\"{y}\" fill=\"{c}\">{n}</text>",
             x = W - MARGIN * 2.5,
             y = MARGIN / 2.0 + 16.0 * (si + 1) as f64,
             c = COLORS[si % COLORS.len()],
             n = xml_escape(name),
         );
     }
-    let _ = write!(
+    let _ = writeln!(
         svg,
-        "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n",
+        "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>",
         m = MARGIN,
         b = H - MARGIN,
         r = W - MARGIN / 2.0
@@ -243,7 +243,7 @@ pub fn svg_kiviat(title: &str, axes: &[String], values: &[f64]) -> String {
             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{s}\" height=\"{s}\" ",
             "viewBox=\"0 0 {s} {s}\" font-family=\"sans-serif\" font-size=\"9\">\n",
             "<rect width=\"{s}\" height=\"{s}\" fill=\"white\"/>\n",
-            "<text x=\"{cx}\" y=\"14\" text-anchor=\"middle\" font-size=\"12\">{t}</text>\n"
+            "<text x=\"{cx}\" y=\"14\" text-anchor=\"middle\" font-size=\"12\">{t}</text>"
         ),
         s = size,
         cx = cx,
@@ -259,9 +259,9 @@ pub fn svg_kiviat(title: &str, axes: &[String], values: &[f64]) -> String {
                 format!("{:.1},{:.1}", cx + radius * ring * a.cos(), cy + radius * ring * a.sin())
             })
             .collect();
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<polygon points=\"{}\" fill=\"none\" stroke=\"#ddd\"/>\n",
+            "<polygon points=\"{}\" fill=\"none\" stroke=\"#ddd\"/>",
             pts.join(" ")
         );
     }
@@ -269,14 +269,14 @@ pub fn svg_kiviat(title: &str, axes: &[String], values: &[f64]) -> String {
     for (i, label) in axes.iter().enumerate() {
         let a = angle(i);
         let (x, y) = (cx + radius * a.cos(), cy + radius * a.sin());
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<line x1=\"{cx}\" y1=\"{cy}\" x2=\"{x:.1}\" y2=\"{y:.1}\" stroke=\"#bbb\"/>\n"
+            "<line x1=\"{cx}\" y1=\"{cy}\" x2=\"{x:.1}\" y2=\"{y:.1}\" stroke=\"#bbb\"/>"
         );
         let (lx, ly) = (cx + (radius + 14.0) * a.cos(), cy + (radius + 14.0) * a.sin());
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\">{}</text>\n",
+            "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\">{}</text>",
             xml_escape(label)
         );
     }
@@ -290,9 +290,9 @@ pub fn svg_kiviat(title: &str, axes: &[String], values: &[f64]) -> String {
             format!("{:.1},{:.1}", cx + r * a.cos(), cy + r * a.sin())
         })
         .collect();
-    let _ = write!(
+    let _ = writeln!(
         svg,
-        "<polygon points=\"{}\" fill=\"steelblue\" fill-opacity=\"0.35\" stroke=\"steelblue\"/>\n",
+        "<polygon points=\"{}\" fill=\"steelblue\" fill-opacity=\"0.35\" stroke=\"steelblue\"/>",
         pts.join(" ")
     );
     svg.push_str("</svg>\n");

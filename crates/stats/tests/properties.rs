@@ -3,8 +3,8 @@
 
 use mica_stats::{
     auc, choose_k_by_bic, classify_pairs, correlation_elimination, hierarchical_cluster, kmeans,
-    pairwise_distances, pearson, roc_curve, select_features_k, silhouette, zscore_normalize,
-    DataSet, GaConfig, Pca,
+    pairwise_distances, pairwise_distances_serial, pearson, roc_curve, select_features_k,
+    silhouette, zscore_normalize, DataSet, GaConfig, Pca,
 };
 use proptest::prelude::*;
 
@@ -130,6 +130,46 @@ proptest! {
         let c = classify_pairs(&a, &b, 0.2, 0.2);
         let total = c.true_positive + c.true_negative + c.false_positive + c.false_negative;
         prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn condensed_get_matches_naive_dense_matrix(ds in random_dataset()) {
+        let d = pairwise_distances(&ds);
+        let n = ds.rows();
+        // Naive dense distance matrix, computed independently.
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let s: f64 = (0..ds.cols())
+                    .map(|c| (ds.get(i, c) - ds.get(j, c)).powi(2))
+                    .sum();
+                dense[i][j] = s.sqrt();
+            }
+        }
+        prop_assert_eq!(d.num_items(), n);
+        prop_assert_eq!(d.len(), n * (n - 1) / 2);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!((d.get(i, j) - dense[i][j]).abs() < 1e-9,
+                        "get({i},{j}) = {} vs dense {}", d.get(i, j), dense[i][j]);
+                }
+            }
+        }
+        // iter_pairs agrees with get on every pair.
+        for (i, j, dist) in d.iter_pairs() {
+            prop_assert_eq!(dist.to_bits(), d.get(i, j).to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_distances_match_serial_bitwise(ds in random_dataset()) {
+        let par = pairwise_distances(&ds);
+        let ser = pairwise_distances_serial(&ds);
+        prop_assert_eq!(&par, &ser);
+        for (a, b) in par.values().iter().zip(ser.values()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

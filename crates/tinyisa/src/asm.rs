@@ -70,7 +70,7 @@ impl Program {
     ///
     /// Panics if `pc` is not a valid instruction address of this program.
     pub fn idx_of(&self, pc: u64) -> usize {
-        assert!(pc >= self.base && (pc - self.base) % INST_BYTES == 0, "bad pc {pc:#x}");
+        assert!(pc >= self.base && (pc - self.base).is_multiple_of(INST_BYTES), "bad pc {pc:#x}");
         let idx = ((pc - self.base) / INST_BYTES) as usize;
         assert!(idx < self.insts.len(), "pc {pc:#x} out of text segment");
         idx

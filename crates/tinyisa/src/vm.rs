@@ -153,7 +153,7 @@ impl Vm {
 
     fn indirect_target(&self, addr: u64) -> Result<usize, VmError> {
         let base = self.prog.base();
-        if addr < base || (addr - base) % INST_BYTES != 0 {
+        if addr < base || !(addr - base).is_multiple_of(INST_BYTES) {
             return Err(VmError::BadPc(addr));
         }
         let idx = ((addr - base) / INST_BYTES) as usize;

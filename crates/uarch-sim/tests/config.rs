@@ -1,7 +1,7 @@
 //! Machine-configuration tests: the configurable models must respond to
 //! their parameters in the physically expected direction.
 
-use tinyisa::{regs::*, Asm, TraceSink, Vm};
+use tinyisa::{regs::*, Asm, Vm};
 use uarch_sim::{CacheConfig, Ev56Model, Ev67Model, InOrderConfig, MemoryLatency, OooConfig};
 
 /// A loop streaming over 64 KiB with a data-dependent accumulator.

@@ -67,7 +67,7 @@ impl DataGen {
         let pattern: Vec<u8> = (0..phrase).map(|_| self.rng.gen_range(b'a'..=b'z')).collect();
         for i in 0..len {
             let mut b = pattern[(i % phrase) as usize];
-            if self.rng.gen_range(0..1000) < mutation_per_mille {
+            if self.rng.gen_range(0..1000u64) < mutation_per_mille {
                 b = self.rng.gen_range(b'a'..=b'z');
             }
             mem.write_u8(base + i, b);

@@ -367,8 +367,8 @@ pub(crate) fn reed_solomon(blocks: u64, msg_len: u64, nsym: u64, seed: u64) -> R
     let mut log = [0u8; 256];
     let mut alog = [0u8; 256];
     let mut x: u32 = 1;
-    for i in 0..255 {
-        alog[i] = x as u8;
+    for (i, al) in alog.iter_mut().enumerate().take(255) {
+        *al = x as u8;
         log[x as usize] = i as u8;
         x <<= 1;
         if x & 0x100 != 0 {

@@ -44,7 +44,7 @@ pub mod kernels;
 mod table;
 
 pub use kernels::Kernel;
-pub use table::{benchmark_table, BenchmarkSpec, Suite, NUM_BENCHMARKS};
+pub use table::{benchmark_table, table_fingerprint, BenchmarkSpec, Suite, NUM_BENCHMARKS};
 
 /// Base address of the primary data segment used by all kernels.
 pub const DATA_BASE: u64 = 0x0100_0000;

@@ -99,6 +99,30 @@ impl BenchmarkSpec {
 /// Number of benchmark instances (matches the paper).
 pub const NUM_BENCHMARKS: usize = 122;
 
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a fingerprint of the entire benchmark table: every benchmark's
+/// name, paper instruction count, data seed, and kernel parameterization
+/// (via its `Debug` rendering). Any edit to the table — reordering,
+/// re-parameterizing a kernel, swapping an input — changes the value, so
+/// profile caches keyed on it cannot silently survive a table change.
+pub fn table_fingerprint() -> u64 {
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, b"mica-table-v1");
+    for spec in benchmark_table() {
+        h = fnv1a(h, spec.name().as_bytes());
+        h = fnv1a(h, &spec.paper_icount_millions.to_le_bytes());
+        h = fnv1a(h, &spec.seed().to_le_bytes());
+        h = fnv1a(h, format!("{:?}", spec.kernel).as_bytes());
+    }
+    h
+}
+
 macro_rules! bench {
     ($suite:ident, $prog:expr, $input:expr, $icnt:expr, $kernel:expr) => {
         BenchmarkSpec {
@@ -298,6 +322,24 @@ mod tests {
             let budget = b.instruction_budget();
             assert!((150_000..=1_200_000).contains(&budget), "{}: {budget}", b.name());
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive_to_kernel_params() {
+        assert_eq!(table_fingerprint(), table_fingerprint());
+        assert_ne!(table_fingerprint(), 0);
+        // The fingerprint covers kernel parameters, not just names: two
+        // specs differing only in kernel parameterization hash apart.
+        let a = BenchmarkSpec {
+            suite: Suite::MiBench,
+            program: "sha",
+            input: "large",
+            paper_icount_millions: 114,
+            kernel: Kernel::Sha { bytes: 1 << 16 },
+        };
+        let mut b = a.clone();
+        b.kernel = Kernel::Sha { bytes: 1 << 17 };
+        assert_ne!(format!("{:?}", a.kernel), format!("{:?}", b.kernel));
     }
 
     #[test]
