@@ -1,0 +1,28 @@
+//! `mica-lint`: run the static verifier over all 122 benchmark kernels.
+//!
+//! Prints every finding (errors and warnings), a per-severity total, and
+//! exits nonzero if any `Error`-severity finding is present. Parallelized
+//! with `mica-par` (set `MICA_THREADS` to bound the worker count).
+
+use mica_experiments::lint::lint_all;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let reports = lint_all();
+    let linted = reports.len();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, report) in &reports {
+        for finding in &report.findings {
+            println!("{name}: {}", finding.rendered());
+        }
+        errors += report.errors().count();
+        warnings += report.warnings().count();
+    }
+    println!("mica-lint: {linted} programs, {errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,6 +14,7 @@
 //! - `MICA_RESULTS_DIR` — output directory (default `results`).
 
 pub mod analysis;
+pub mod lint;
 pub mod profile;
 pub mod results;
 

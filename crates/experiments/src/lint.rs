@@ -1,0 +1,55 @@
+//! Static lint pass over the full 122-benchmark table.
+//!
+//! Shared by the `mica-lint` binary and the workspace gate test
+//! (`tests/lint.rs`): both assemble every benchmark's kernel and run the
+//! [`mica_verify`] checks against the workload memory map. The zoo must be
+//! `Error`-clean — a kernel that reads an uninitialized register or carries
+//! unreachable code skews the characterization without failing any dynamic
+//! test.
+
+use mica_par::par_map;
+use mica_verify::{verify, Report, Segment, VerifyConfig};
+use mica_workloads::{benchmark_table, DATA2_BASE, DATA3_BASE, DATA_BASE, STACK_TOP};
+
+/// The verifier configuration for workload kernels.
+///
+/// - No entry registers: kernels materialize every value they use with
+///   `li`/`fli`; the harness presets nothing.
+/// - Segments mirror the workload memory map ([`mica_workloads`] doc):
+///   three data regions (each extended to the next region's base — the
+///   memory is sparse, so the bound only has to catch *wild* constants,
+///   not enforce a footprint) and a 1 MiB stack below [`STACK_TOP`].
+/// - `expect_halt` off: kernels are endless steady-state loops profiled to
+///   fuel exhaustion.
+pub fn workload_config() -> VerifyConfig {
+    const STACK_LEN: u64 = 0x10_0000;
+    VerifyConfig {
+        entry_regs: Vec::new(),
+        segments: vec![
+            Segment { name: "stack", start: STACK_TOP - STACK_LEN, len: STACK_LEN },
+            Segment { name: "data", start: DATA_BASE, len: DATA2_BASE - DATA_BASE },
+            Segment { name: "data2", start: DATA2_BASE, len: DATA3_BASE - DATA2_BASE },
+            Segment { name: "data3", start: DATA3_BASE, len: DATA3_BASE },
+        ],
+        expect_halt: false,
+    }
+}
+
+/// Assemble and verify every benchmark in the table, in table order.
+///
+/// Runs under [`mica_par::par_map`] (respects `MICA_THREADS`).
+///
+/// # Panics
+///
+/// Panics if a kernel fails to assemble — that is a table bug, not a lint
+/// finding.
+pub fn lint_all() -> Vec<(String, Report)> {
+    let specs = benchmark_table();
+    let config = workload_config();
+    par_map(&specs, |spec| {
+        let vm = spec.build_vm().unwrap_or_else(|e| {
+            panic!("{}: kernel failed to assemble: {e}", spec.name());
+        });
+        (spec.name(), verify(vm.program(), &config))
+    })
+}

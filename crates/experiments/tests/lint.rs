@@ -1,0 +1,23 @@
+//! Workspace gate: the 122-kernel zoo must be free of `Error`-severity
+//! static-verifier findings. This is the test-suite twin of the `mica-lint`
+//! binary (same shared pass, same config).
+
+use mica_experiments::lint::lint_all;
+
+#[test]
+fn benchmark_table_is_error_clean() {
+    let reports = lint_all();
+    assert_eq!(reports.len(), mica_workloads::NUM_BENCHMARKS);
+    let mut failures = Vec::new();
+    for (name, report) in &reports {
+        for finding in report.errors() {
+            failures.push(format!("{name}: {}", finding.rendered()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} error finding(s) across the zoo:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

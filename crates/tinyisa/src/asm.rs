@@ -9,10 +9,35 @@ use std::fmt;
 pub struct Label(usize);
 
 /// Errors produced when assembling a program.
+///
+/// Label errors identify the *referencing site* — the instruction index and
+/// its resolved pc — so a kernel builder emitting hundreds of instructions
+/// can be debugged without bisecting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AsmError {
-    /// A label was referenced but never bound to a position.
-    UnboundLabel(usize),
+    /// A label was referenced but never bound to a position. The site is
+    /// the first instruction referencing it.
+    UnboundLabel {
+        /// Label id (in allocation order).
+        label: usize,
+        /// Index of the first instruction referencing the label.
+        inst_idx: usize,
+        /// Byte address of that instruction.
+        pc: u64,
+    },
+    /// A label resolved to a position past the last instruction, so the
+    /// transfer would leave the text segment. (This happens when a label is
+    /// bound after the final emitted instruction.)
+    TargetOutOfText {
+        /// Label id (in allocation order).
+        label: usize,
+        /// Index of the first instruction referencing the label.
+        inst_idx: usize,
+        /// Byte address of that instruction.
+        pc: u64,
+        /// The out-of-range instruction index the label resolved to.
+        target_idx: usize,
+    },
     /// A label was bound more than once.
     RedefinedLabel(usize),
     /// The program contains no instructions.
@@ -22,7 +47,15 @@ pub enum AsmError {
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AsmError::UnboundLabel(i) => write!(f, "label L{i} referenced but never bound"),
+            AsmError::UnboundLabel { label, inst_idx, pc } => write!(
+                f,
+                "label L{label} referenced at inst {inst_idx} (pc {pc:#x}) but never bound"
+            ),
+            AsmError::TargetOutOfText { label, inst_idx, pc, target_idx } => write!(
+                f,
+                "label L{label} referenced at inst {inst_idx} (pc {pc:#x}) resolves to \
+                 inst {target_idx}, past the end of the text segment"
+            ),
             AsmError::RedefinedLabel(i) => write!(f, "label L{i} bound twice"),
             AsmError::EmptyProgram => write!(f, "program has no instructions"),
         }
@@ -140,18 +173,50 @@ impl Asm {
         self.insts.push(op);
     }
 
+    /// Labels that were bound but never referenced by any control transfer.
+    ///
+    /// An unused label is not an error — [`Asm::assemble`] accepts it — but
+    /// in a generated kernel it usually marks a control path the builder
+    /// meant to emit and didn't; `mica-verify`'s structural lints surface it
+    /// through this accessor.
+    pub fn unused_labels(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(id, bound)| {
+                bound.is_some() && !self.fixups.iter().any(|&(_, l)| l == *id)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
     /// Resolve all labels and produce the final [`Program`].
     ///
     /// # Errors
     ///
     /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
-    /// bound, and [`AsmError::EmptyProgram`] for an empty program.
+    /// bound, [`AsmError::TargetOutOfText`] if a referenced label resolved
+    /// past the last instruction, and [`AsmError::EmptyProgram`] for an
+    /// empty program. Label errors report the first referencing site.
     pub fn assemble(mut self) -> Result<Program, AsmError> {
         if self.insts.is_empty() {
             return Err(AsmError::EmptyProgram);
         }
         for &(inst_idx, label_id) in &self.fixups {
-            let target = self.labels[label_id].ok_or(AsmError::UnboundLabel(label_id))?;
+            let pc = self.base + inst_idx as u64 * INST_BYTES;
+            let target = self.labels[label_id].ok_or(AsmError::UnboundLabel {
+                label: label_id,
+                inst_idx,
+                pc,
+            })?;
+            if target >= self.insts.len() {
+                return Err(AsmError::TargetOutOfText {
+                    label: label_id,
+                    inst_idx,
+                    pc,
+                    target_idx: target,
+                });
+            }
             match &mut self.insts[inst_idx] {
                 Op::Beq(_, _, t)
                 | Op::Bne(_, _, t)
@@ -379,11 +444,53 @@ mod tests {
     }
 
     #[test]
-    fn unbound_label_is_reported() {
+    fn unbound_label_reports_first_referencing_site() {
         let mut a = Asm::new();
         let l = a.label();
-        a.jmp(l);
-        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+        a.li(T0, 1); // inst 0
+        a.jmp(l); // inst 1: first reference
+        a.jmp(l); // inst 2: second reference
+        let err = a.assemble().unwrap_err();
+        assert_eq!(err, AsmError::UnboundLabel { label: 0, inst_idx: 1, pc: 0x1_0000 + 4 });
+        let msg = err.to_string();
+        assert!(msg.contains("inst 1"), "{msg}");
+        assert!(msg.contains("0x10004"), "{msg}");
+    }
+
+    #[test]
+    fn label_bound_past_the_end_is_out_of_text() {
+        let mut a = Asm::with_base(0x2000);
+        let l = a.label();
+        a.jmp(l); // inst 0
+        a.halt(); // inst 1
+        a.bind(l); // binds to inst 2 == len: off the end of text
+        let err = a.assemble().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::TargetOutOfText { label: 0, inst_idx: 0, pc: 0x2000, target_idx: 2 }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("inst 0") && msg.contains("inst 2"), "{msg}");
+    }
+
+    #[test]
+    fn redefined_label_renders_its_id() {
+        assert_eq!(AsmError::RedefinedLabel(3).to_string(), "label L3 bound twice");
+    }
+
+    #[test]
+    fn unused_labels_are_reported_but_allowed() {
+        let mut a = Asm::new();
+        let used = a.label();
+        let unused = a.label();
+        let unbound_unused = a.label(); // never bound, never referenced: ignored
+        a.bind(used);
+        a.li(T0, 1);
+        a.bind(unused);
+        a.jmp(used);
+        assert_eq!(a.unused_labels(), vec![unused.0]);
+        assert!(!a.unused_labels().contains(&unbound_unused.0));
+        assert!(a.assemble().is_ok());
     }
 
     #[test]

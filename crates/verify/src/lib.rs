@@ -1,0 +1,672 @@
+//! Static verification of assembled [`tinyisa`] programs.
+//!
+//! The MICA methodology characterizes *inherent* program behavior: a kernel
+//! that reads a register it never wrote, jumps out of its text segment, or
+//! carries a dead half of its loop body silently skews the 47-metric
+//! characterization without failing any dynamic test. This crate analyzes
+//! the program text instead of observing an execution:
+//!
+//! 1. [`Cfg::build`] constructs a basic-block control-flow graph (direct
+//!    targets from [`tinyisa::Op::flow`], indirect transfers modeled
+//!    conservatively against call return sites and li-materialized text
+//!    addresses);
+//! 2. reachability lints: unreachable blocks, fall-through off the end of
+//!    text, no-reachable-`halt` detection (opt-in — the workload kernels
+//!    are endless steady-state loops by design);
+//! 3. a forward may-uninitialized dataflow over the integer and FP register
+//!    files ([`may_uninit_reads`]) flags read-before-write;
+//! 4. memory lints on provably-constant addresses ([`const_accesses`]):
+//!    segment bounds, text-segment collisions, width misalignment;
+//! 5. structural lints: redundant jumps, no-op branches, self-loops with no
+//!    exit, unresolvable indirect transfers.
+//!
+//! Findings carry a [`Severity`], the offending pc, and the
+//! [`tinyisa::disassemble_op`] rendering of the instruction:
+//!
+//! ```
+//! use tinyisa::{Asm, regs::*};
+//! use mica_verify::{verify, VerifyConfig, Severity};
+//!
+//! let mut a = Asm::new();
+//! let top = a.label();
+//! a.bind(top);
+//! a.addi(T0, T1, 1); // T1 is never written: read-before-init
+//! a.jmp(top);
+//! let prog = a.assemble().unwrap();
+//!
+//! let report = verify(&prog, &VerifyConfig::default());
+//! assert_eq!(report.errors().count(), 1);
+//! let f = report.errors().next().unwrap();
+//! assert_eq!(f.severity, Severity::Error);
+//! assert!(f.rendered().contains("addi x7, x8, 1"));
+//! ```
+
+mod cfg;
+mod dataflow;
+
+pub use cfg::{Block, Cfg};
+pub use dataflow::{const_accesses, may_uninit_reads, Const, ConstAccess, RegSet, UninitRead};
+
+use std::fmt;
+use tinyisa::{disassemble_op, Flow, Op, Program, RegRef, INST_BYTES};
+
+/// How bad a finding is. `Error` findings are behavioral defects (the
+/// characterization of the program is not what the kernel author intended);
+/// `Warn` findings are suspicious but possibly deliberate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious construct; may be intentional.
+    Warn,
+    /// Defect: the program does not faithfully express a workload.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The lint catalog. Each variant is one check; [`Lint::severity`] gives
+/// its fixed severity and [`Lint::name`] its stable kebab-case identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// A basic block no path from the entry reaches.
+    UnreachableBlock,
+    /// Execution can run past the last instruction of the text segment.
+    FallsOffEnd,
+    /// A register is read while some path from the entry never wrote it.
+    UninitRead,
+    /// A provably-constant address misses every declared data segment.
+    OutOfSegment,
+    /// A provably-constant data access lands inside the text segment.
+    AccessInText,
+    /// A direct branch/jump/call target is outside the text segment.
+    BranchTargetOutOfText,
+    /// No reachable `halt` (reported only when the config expects one).
+    NoReachableHalt,
+    /// A provably-constant address is not a multiple of the access width.
+    MisalignedAccess,
+    /// An unconditional jump to the next instruction (dead control flow).
+    JumpToFallthrough,
+    /// A conditional branch whose taken target is its own fall-through.
+    BranchToFallthrough,
+    /// A reachable block whose only successor is itself (reported only when
+    /// the config expects a halt — endless steady-state kernels loop by
+    /// design).
+    SelfLoopNoExit,
+    /// An indirect transfer with an empty conservative target pool.
+    IndirectUnresolved,
+    /// A `li` constant that lands inside the text segment but does not
+    /// align to an instruction boundary (a jump through it would split an
+    /// instruction).
+    SplitTextAddress,
+}
+
+impl Lint {
+    /// The fixed severity of this lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::UnreachableBlock
+            | Lint::FallsOffEnd
+            | Lint::UninitRead
+            | Lint::OutOfSegment
+            | Lint::AccessInText
+            | Lint::BranchTargetOutOfText => Severity::Error,
+            Lint::NoReachableHalt
+            | Lint::MisalignedAccess
+            | Lint::JumpToFallthrough
+            | Lint::BranchToFallthrough
+            | Lint::SelfLoopNoExit
+            | Lint::IndirectUnresolved
+            | Lint::SplitTextAddress => Severity::Warn,
+        }
+    }
+
+    /// Stable kebab-case identifier (used in rendered findings).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnreachableBlock => "unreachable-block",
+            Lint::FallsOffEnd => "falls-off-end",
+            Lint::UninitRead => "uninit-read",
+            Lint::OutOfSegment => "out-of-segment",
+            Lint::AccessInText => "access-in-text",
+            Lint::BranchTargetOutOfText => "branch-target-out-of-text",
+            Lint::NoReachableHalt => "no-reachable-halt",
+            Lint::MisalignedAccess => "misaligned-access",
+            Lint::JumpToFallthrough => "jump-to-fallthrough",
+            Lint::BranchToFallthrough => "branch-to-fallthrough",
+            Lint::SelfLoopNoExit => "self-loop-no-exit",
+            Lint::IndirectUnresolved => "indirect-unresolved",
+            Lint::SplitTextAddress => "split-text-address",
+        }
+    }
+}
+
+/// One verifier finding, anchored to an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity (always `lint.severity()`).
+    pub severity: Severity,
+    /// Which check fired.
+    pub lint: Lint,
+    /// Instruction index of the offending site.
+    pub idx: usize,
+    /// Byte address of the offending site.
+    pub pc: u64,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// `disassemble_op` rendering of the offending instruction.
+    pub disasm: String,
+}
+
+impl Finding {
+    /// One-line rendering: `error[uninit-read] 0x10004: ... | addi x7, x8, 1`.
+    pub fn rendered(&self) -> String {
+        format!(
+            "{}[{}] {:#08x}: {}  |  {}",
+            self.severity,
+            self.lint.name(),
+            self.pc,
+            self.message,
+            self.disasm
+        )
+    }
+}
+
+/// A named address range a program is allowed to touch with
+/// provably-constant addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Human-readable name (shows up in findings).
+    pub name: &'static str,
+    /// First byte address of the segment.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Segment {
+    /// True if `[addr, addr + width)` lies entirely inside the segment.
+    fn contains(&self, addr: u64, width: u64) -> bool {
+        addr >= self.start && addr.saturating_add(width) <= self.start.saturating_add(self.len)
+    }
+}
+
+/// What the verifier assumes about the execution environment.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyConfig {
+    /// Registers (besides the hardwired zero) the harness initializes
+    /// before running — e.g. arguments preset through `Vm::set_reg`.
+    pub entry_regs: Vec<RegRef>,
+    /// Declared data segments. When empty, the out-of-segment check is
+    /// skipped (text-collision and alignment checks still run).
+    pub segments: Vec<Segment>,
+    /// Whether the program is expected to reach a `halt`. The workload
+    /// kernels are endless steady-state loops, so this defaults to off.
+    pub expect_halt: bool,
+}
+
+/// The result of [`verify`]: all findings, sorted by instruction index
+/// with errors before warnings at the same site.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// The `Error`-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// The `Warn`-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn)
+    }
+
+    /// True when no `Error`-severity finding was produced.
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{}", finding.rendered())?;
+        }
+        Ok(())
+    }
+}
+
+fn reg_name(r: RegRef) -> String {
+    match r {
+        RegRef::Int(i) => format!("x{i}"),
+        RegRef::Fp(i) => format!("f{i}"),
+    }
+}
+
+/// Run every check against `prog` and collect the findings.
+pub fn verify(prog: &Program, config: &VerifyConfig) -> Report {
+    let cfg = Cfg::build(prog);
+    verify_with_cfg(prog, &cfg, config)
+}
+
+/// Like [`verify`], reusing an already-built CFG.
+pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Report {
+    let insts = prog.insts();
+    let mut findings = Vec::new();
+    let push = |findings: &mut Vec<Finding>, lint: Lint, idx: usize, message: String| {
+        findings.push(Finding {
+            severity: lint.severity(),
+            lint,
+            idx,
+            pc: prog.pc_of(idx),
+            message,
+            disasm: disassemble_op(prog, &insts[idx]),
+        });
+    };
+
+    // --- (a) reachability ---
+    for (bi, b) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(bi) {
+            push(
+                &mut findings,
+                Lint::UnreachableBlock,
+                b.start,
+                format!("block of {} instruction(s) is unreachable from the entry", b.end - b.start),
+            );
+        } else if b.falls_off_end {
+            push(
+                &mut findings,
+                Lint::FallsOffEnd,
+                b.last(),
+                "execution can fall off the end of the text segment here".to_string(),
+            );
+        }
+    }
+    if config.expect_halt && !cfg.reachable_halt(prog) {
+        push(
+            &mut findings,
+            Lint::NoReachableHalt,
+            0,
+            "no halt instruction is reachable from the entry".to_string(),
+        );
+    }
+
+    // --- (b) may-uninitialized register reads ---
+    let mut entry = RegSet::EMPTY;
+    entry.insert(RegRef::Int(0));
+    for r in &config.entry_regs {
+        entry.insert(*r);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for read in may_uninit_reads(prog, cfg, entry) {
+        if seen.insert((read.idx, read.reg.unified())) {
+            push(
+                &mut findings,
+                Lint::UninitRead,
+                read.idx,
+                format!(
+                    "{} is read here, but some path from the entry never writes it",
+                    reg_name(read.reg)
+                ),
+            );
+        }
+    }
+
+    // --- (c) constant-address memory lints ---
+    let text_start = prog.base();
+    let text_end = prog.base() + insts.len() as u64 * INST_BYTES;
+    for acc in const_accesses(prog, cfg) {
+        let end = acc.addr.saturating_add(acc.width);
+        let kind = if acc.is_store { "store" } else { "load" };
+        if acc.addr < text_end && end > text_start {
+            push(
+                &mut findings,
+                Lint::AccessInText,
+                acc.idx,
+                format!("{kind} of {} byte(s) at {:#x} lands in the text segment", acc.width, acc.addr),
+            );
+        } else if !config.segments.is_empty()
+            && !config.segments.iter().any(|s| s.contains(acc.addr, acc.width))
+        {
+            let names: Vec<&str> = config.segments.iter().map(|s| s.name).collect();
+            push(
+                &mut findings,
+                Lint::OutOfSegment,
+                acc.idx,
+                format!(
+                    "{kind} of {} byte(s) at provably-constant address {:#x} misses every \
+                     declared data segment ({})",
+                    acc.width,
+                    acc.addr,
+                    names.join(", ")
+                ),
+            );
+        }
+        if acc.addr % acc.width != 0 {
+            push(
+                &mut findings,
+                Lint::MisalignedAccess,
+                acc.idx,
+                format!(
+                    "{kind} of {} byte(s) at {:#x} is not {}-byte aligned",
+                    acc.width, acc.addr, acc.width
+                ),
+            );
+        }
+    }
+
+    // --- (d) structural lints ---
+    for (idx, op) in insts.iter().enumerate() {
+        if let Some(t) = op.flow().direct_target() {
+            if t >= insts.len() {
+                push(
+                    &mut findings,
+                    Lint::BranchTargetOutOfText,
+                    idx,
+                    format!("target index {t} is outside the {}-instruction text", insts.len()),
+                );
+            }
+        }
+        if let Op::Li(_, imm) = *op {
+            let v = imm as u64;
+            if v > text_start && v < text_end && !(v - text_start).is_multiple_of(INST_BYTES) {
+                push(
+                    &mut findings,
+                    Lint::SplitTextAddress,
+                    idx,
+                    format!(
+                        "constant {v:#x} lands inside the text segment but splits an instruction"
+                    ),
+                );
+            }
+        }
+    }
+    for (bi, b) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(bi) {
+            continue; // already reported as unreachable; avoid pile-on
+        }
+        let last = b.last();
+        match insts[last].flow() {
+            Flow::Jump(t) if t == last + 1 => push(
+                &mut findings,
+                Lint::JumpToFallthrough,
+                last,
+                "unconditional jump to the next instruction".to_string(),
+            ),
+            Flow::Branch(t) if t == last + 1 => push(
+                &mut findings,
+                Lint::BranchToFallthrough,
+                last,
+                "branch target equals its own fall-through; the branch decides nothing"
+                    .to_string(),
+            ),
+            Flow::IndirectJump | Flow::IndirectCall | Flow::Ret
+                if cfg.indirect_targets().is_empty() =>
+            {
+                push(
+                    &mut findings,
+                    Lint::IndirectUnresolved,
+                    last,
+                    "indirect transfer, but the program has no call return sites or \
+                     li-materialized text addresses to model it with"
+                        .to_string(),
+                )
+            }
+            _ => {}
+        }
+        if config.expect_halt && b.succs == [bi] {
+            push(
+                &mut findings,
+                Lint::SelfLoopNoExit,
+                last,
+                "this block's only successor is itself; execution can never leave it"
+                    .to_string(),
+            );
+        }
+    }
+
+    findings.sort_by_key(|f| (f.idx, f.severity != Severity::Error, f.lint.name()));
+    Report { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::{regs::*, Asm};
+
+    fn report(build: impl FnOnce(&mut Asm)) -> Report {
+        report_with(build, &VerifyConfig::default())
+    }
+
+    fn report_with(build: impl FnOnce(&mut Asm), config: &VerifyConfig) -> Report {
+        let mut a = Asm::new();
+        build(&mut a);
+        verify(&a.assemble().unwrap(), config)
+    }
+
+    fn lints(r: &Report) -> Vec<Lint> {
+        r.findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn clean_kernel_shape_produces_no_findings() {
+        let r = report(|a| {
+            let (outer, head) = (a.label(), a.label());
+            a.li(T0, 0);
+            a.li(S0, 0x0100_0000);
+            a.bind(outer);
+            a.li(T1, 0);
+            a.bind(head);
+            a.add(T2, S0, T1);
+            a.ld1(T3, T2, 0);
+            a.add(T0, T0, T3);
+            a.addi(T1, T1, 1);
+            a.slti(T4, T1, 64);
+            a.bne(T4, ZERO, head);
+            a.jmp(outer);
+        });
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn unreachable_block_is_an_error() {
+        let r = report(|a| {
+            let end = a.label();
+            a.jmp(end);
+            a.li(T0, 7); // dead
+            a.bind(end);
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::UnreachableBlock]);
+        assert_eq!(r.findings[0].idx, 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn fall_off_end_is_an_error() {
+        let r = report(|a| {
+            a.li(T0, 1);
+        });
+        assert_eq!(lints(&r), vec![Lint::FallsOffEnd]);
+    }
+
+    #[test]
+    fn no_reachable_halt_is_opt_in() {
+        let endless = |a: &mut Asm| {
+            let top = a.label();
+            a.bind(top);
+            a.li(T0, 1);
+            a.li(T1, 2);
+            a.jmp(top);
+        };
+        assert!(report(endless).findings.is_empty());
+        let cfg = VerifyConfig { expect_halt: true, ..VerifyConfig::default() };
+        let r = report_with(endless, &cfg);
+        assert!(lints(&r).contains(&Lint::NoReachableHalt), "{r}");
+        assert!(r.findings.iter().all(|f| f.severity == Severity::Warn));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn uninit_read_is_an_error_with_disasm() {
+        let r = report(|a| {
+            a.fadd(F2, F0, F1);
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::UninitRead, Lint::UninitRead]);
+        assert!(r.findings[0].rendered().contains("fadd f2, f0, f1"), "{r}");
+        assert!(r.findings[0].message.contains("f0"));
+    }
+
+    #[test]
+    fn entry_regs_suppress_uninit_reads() {
+        let cfg = VerifyConfig {
+            entry_regs: vec![RegRef::Int(1), RegRef::Fp(0)],
+            ..VerifyConfig::default()
+        };
+        let r = report_with(
+            |a| {
+                a.fcvtif(F1, A0);
+                a.fadd(F2, F0, F1);
+                a.halt();
+            },
+            &cfg,
+        );
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn out_of_segment_constant_store_is_an_error() {
+        let cfg = VerifyConfig {
+            segments: vec![Segment { name: "data", start: 0x8000, len: 0x100 }],
+            ..VerifyConfig::default()
+        };
+        let r = report_with(
+            |a| {
+                a.li(T0, 0x8000);
+                a.li(T1, 5);
+                a.st8(T1, T0, 0x0f8); // last slot: fine
+                a.st8(T1, T0, 0x100); // one past: out of segment
+                a.halt();
+            },
+            &cfg,
+        );
+        assert_eq!(lints(&r), vec![Lint::OutOfSegment]);
+        assert_eq!(r.findings[0].idx, 3);
+        assert!(r.findings[0].message.contains("data"));
+    }
+
+    #[test]
+    fn without_declared_segments_bounds_are_not_checked() {
+        let r = report(|a| {
+            a.li(T0, 0xdead_0000);
+            a.st8(T0, T0, 0);
+            a.halt();
+        });
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn constant_access_in_text_is_an_error_even_without_segments() {
+        let r = report(|a| {
+            a.li(T0, 0x1_0000); // the text base itself
+            a.st8(T0, T0, 0);
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::AccessInText]);
+    }
+
+    #[test]
+    fn misaligned_constant_access_is_a_warning() {
+        let r = report(|a| {
+            a.li(T0, 0x8004);
+            a.ld8(T1, T0, 0); // 8-byte load at a 4-aligned address
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::MisalignedAccess]);
+        assert_eq!(r.findings[0].severity, Severity::Warn);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn jump_to_fallthrough_is_a_warning() {
+        let r = report(|a| {
+            let next = a.label();
+            a.li(T0, 1);
+            a.jmp(next);
+            a.bind(next);
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::JumpToFallthrough]);
+    }
+
+    #[test]
+    fn branch_to_fallthrough_is_a_warning() {
+        let r = report(|a| {
+            let next = a.label();
+            a.li(T0, 1);
+            a.beq(T0, ZERO, next);
+            a.bind(next);
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::BranchToFallthrough]);
+    }
+
+    #[test]
+    fn self_loop_without_exit_is_a_warning_only_when_a_halt_is_expected() {
+        let spin = |a: &mut Asm| {
+            let spin = a.label();
+            a.li(T0, 1);
+            a.bind(spin);
+            a.addi(T0, T0, 1);
+            a.jmp(spin);
+        };
+        // Endless loops are the intended kernel shape by default.
+        assert!(report(spin).findings.is_empty());
+        let cfg = VerifyConfig { expect_halt: true, ..VerifyConfig::default() };
+        let r = report_with(spin, &cfg);
+        assert!(lints(&r).contains(&Lint::SelfLoopNoExit), "{r}");
+    }
+
+    #[test]
+    fn unresolvable_ret_is_a_warning() {
+        // A `ret` with no call anywhere: the pool is empty.
+        let r = report(|a| {
+            a.li(RA, 99); // suppress uninit-read of RA... except li is exact
+            a.ret();
+        });
+        // RA holds 99: not a text address, pool empty -> IndirectUnresolved.
+        assert!(lints(&r).contains(&Lint::IndirectUnresolved), "{r}");
+    }
+
+    #[test]
+    fn split_text_address_constant_is_a_warning() {
+        let r = report(|a| {
+            let top = a.label();
+            a.bind(top);
+            a.li(T0, 0x1_0002); // inside text, mid-instruction
+            a.jmp(top);
+        });
+        assert_eq!(lints(&r), vec![Lint::SplitTextAddress]);
+    }
+
+    #[test]
+    fn report_renders_one_line_per_finding() {
+        let r = report(|a| {
+            a.addi(T0, T1, 1);
+            a.halt();
+        });
+        let text = r.to_string();
+        assert_eq!(text.lines().count(), r.findings.len());
+        assert!(text.contains("error[uninit-read]"), "{text}");
+        assert!(text.contains("0x010000"), "{text}");
+    }
+}

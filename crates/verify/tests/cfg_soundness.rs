@@ -1,0 +1,137 @@
+//! Soundness of the static model against real executions.
+//!
+//! For every benchmark in the 122-kernel table, run the VM with a
+//! [`TraceSink`] that checks each retired instruction against the static
+//! analyses as it streams by:
+//!
+//! - **CFG edge soundness**: every dynamic control-flow edge (each
+//!   consecutive pair of retired instructions) must exist in the static
+//!   CFG — within a block only as the `i -> i+1` fall-through, across
+//!   blocks only along a recorded successor edge landing on the target
+//!   block's leader. The CFG may over-approximate (conservative indirect
+//!   pool), but must never miss an edge the machine actually takes.
+//! - **Def/use model soundness**: the `DynInst` dst/srcs the VM reports
+//!   must equal [`Op::def`] / [`Op::uses`] — the static operand model the
+//!   dataflow lints are built on.
+
+use mica_par::par_map;
+use mica_verify::Cfg;
+use mica_workloads::benchmark_table;
+use tinyisa::{DynInst, Op, Program, TraceSink, INST_BYTES};
+
+/// Retired instructions to execute per kernel: enough to leave the init
+/// preamble and run several steady-state iterations of every loop nest.
+const FUEL: u64 = 60_000;
+
+/// Cap on recorded violations per kernel, so a broken model fails with a
+/// readable message instead of a gigabyte of assertions.
+const MAX_VIOLATIONS: usize = 5;
+
+struct SoundnessChecker<'a> {
+    prog: &'a Program,
+    cfg: &'a Cfg,
+    prev_idx: Option<usize>,
+    edges_checked: u64,
+    violations: Vec<String>,
+}
+
+impl<'a> SoundnessChecker<'a> {
+    fn new(prog: &'a Program, cfg: &'a Cfg) -> Self {
+        SoundnessChecker { prog, cfg, prev_idx: None, edges_checked: 0, violations: Vec::new() }
+    }
+
+    fn flag(&mut self, msg: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+
+    fn check_operands(&mut self, idx: usize, op: &Op, inst: &DynInst) {
+        if inst.dst != op.def() {
+            self.flag(format!(
+                "inst {idx} ({op:?}): dynamic dst {:?} != static def {:?}",
+                inst.dst,
+                op.def()
+            ));
+        }
+        if inst.srcs != op.uses() {
+            self.flag(format!(
+                "inst {idx} ({op:?}): dynamic srcs {:?} != static uses {:?}",
+                inst.srcs,
+                op.uses()
+            ));
+        }
+    }
+
+    fn check_edge(&mut self, prev: usize, cur: usize) {
+        let pb = self.cfg.block_of(prev);
+        let cb = self.cfg.block_of(cur);
+        self.edges_checked += 1;
+        if self.cfg.blocks()[pb].last() != prev {
+            // Mid-block: the only legal successor is the next instruction
+            // of the same block.
+            if cur != prev + 1 || cb != pb {
+                self.flag(format!("mid-block inst {prev} retired, then {cur} (not {prev}+1)"));
+            }
+        } else {
+            // Block terminator: must follow a static edge, and can only
+            // enter the successor at its leader.
+            if !self.cfg.has_edge(pb, cb) {
+                self.flag(format!(
+                    "dynamic edge inst {prev} -> inst {cur} (block {pb} -> {cb}) missing \
+                     from the static CFG"
+                ));
+            } else if self.cfg.blocks()[cb].start != cur {
+                self.flag(format!(
+                    "block {cb} entered mid-block at inst {cur} (leader is inst {})",
+                    self.cfg.blocks()[cb].start
+                ));
+            }
+        }
+    }
+}
+
+impl TraceSink for SoundnessChecker<'_> {
+    fn retire(&mut self, inst: &DynInst) {
+        let idx = ((inst.pc - self.prog.base()) / INST_BYTES) as usize;
+        let op = self.prog.insts()[idx];
+        self.check_operands(idx, &op, inst);
+        if let Some(prev) = self.prev_idx {
+            self.check_edge(prev, idx);
+        }
+        self.prev_idx = Some(idx);
+    }
+}
+
+#[test]
+fn every_dynamic_edge_exists_in_the_static_cfg() {
+    let specs = benchmark_table();
+    let results: Vec<(String, u64, Vec<String>)> = par_map(&specs, |spec| {
+        let mut vm = spec.build_vm().expect("kernel must assemble");
+        let prog = vm.program().clone();
+        let cfg = Cfg::build(&prog);
+        let mut checker = SoundnessChecker::new(&prog, &cfg);
+        // Kernels are endless; FuelExhausted is the expected exit. A VmError
+        // (bad pc) would itself be a soundness bug worth failing on.
+        vm.run(&mut checker, FUEL)
+            .unwrap_or_else(|e| panic!("{}: vm error during soundness run: {e}", spec.name()));
+        (spec.name(), checker.edges_checked, checker.violations)
+    });
+
+    let mut failures = Vec::new();
+    for (name, edges_checked, violations) in &results {
+        assert!(
+            *edges_checked >= FUEL / 2,
+            "{name}: only {edges_checked} edges checked; the run did not exercise the kernel"
+        );
+        for v in violations {
+            failures.push(format!("{name}: {v}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} static-model violation(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -64,6 +64,9 @@ pub(crate) fn dp_align(m: u64, band: u64, alphabet: u8, seed: u64) -> Result<Vm,
     a.mov(T3, S2);
     a.mov(S2, S3);
     a.mov(S3, T3);
+    // Intentional jump-to-fallthrough (mica-lint warns): the merge jump
+    // unoptimized codegen emits after the swap arm; keeps a taken `jmp`
+    // in the characterized control mix.
     a.jmp(row_swap);
     a.bind(row_swap);
     a.addi(T0, T0, 1);
@@ -137,6 +140,8 @@ pub(crate) fn db_scan(db_bytes: u64, word: u64, seed: u64) -> Result<Vm, AsmErro
     a.add(T4, T4, T8);
     a.st4(T4, T9, 0);
     a.bind(nohit);
+    // Intentional jump-to-fallthrough (mica-lint warns): the no-hit arm's
+    // merge jump, kept for the characterized control mix.
     a.jmp(next);
     a.bind(next);
     a.addi(T0, T0, 7); // skip-stride scan
@@ -328,6 +333,8 @@ pub(crate) fn phylo_eval(leaves: u64, sites: u64, seed: u64) -> Result<Vm, AsmEr
     a.addi(SP, SP, 24);
     a.ret();
     a.bind(is_leaf);
+    // Intentional jump-to-fallthrough (mica-lint warns): the leaf arm's
+    // merge jump, kept for the characterized control mix.
     a.jmp(after);
     a.bind(after);
     a.ret();

@@ -349,6 +349,9 @@ pub(crate) fn reed_solomon(blocks: u64, msg_len: u64, nsym: u64, seed: u64) -> R
     a.ld1(T8, T6, 0);
     a.xor(T8, T8, T9);
     a.st1(T8, T6, 0);
+    // Intentional jump-to-fallthrough (mica-lint warns): `skip_zero` binds
+    // at the same pc as `p_next`, so this merge jump lands on the next
+    // instruction; kept for the characterized control mix.
     a.jmp(p_next);
     a.bind(skip_zero);
     a.bind(p_next);

@@ -184,6 +184,8 @@ pub(crate) fn adpcm(samples: u64, decode: bool, seed: u64) -> Result<Vm, AsmErro
     a.sub(T5, ZERO, T5);
     a.li(T6, 8);
     a.bind(pos);
+    // Intentional jump-to-fallthrough (mica-lint warns): the positive arm's
+    // merge jump, kept for the characterized control mix.
     a.jmp(signdone);
     a.bind(signdone);
     // Quantize: delta = 0; 3 data-dependent comparisons against step.

@@ -103,6 +103,8 @@ pub(crate) fn interp(program_len: u64, seed: u64) -> Result<Vm, AsmError> {
     a.ld8(T8, T9, 0);
     a.add(T8, T8, T3);
     a.st8(T8, T9, 0);
+    // Intentional jump-to-fallthrough (mica-lint warns): the last opcode
+    // handler's dispatch-merge jump, kept for the characterized control mix.
     a.jmp(next);
     a.bind(next);
     a.addi(S4, S4, 1);
@@ -252,6 +254,8 @@ pub(crate) fn qsort(elems: u64, seed: u64) -> Result<Vm, AsmError> {
     a.ld8(T4, T3, 0);
     a.blt(S4, T4, hi_scan);
     a.bge(S5, S6, part_done);
+    // Intentional jump-to-fallthrough (mica-lint warns): the partition
+    // scan's merge jump, kept for the characterized control mix.
     a.jmp(do_swap);
     a.bind(do_swap);
     // Swap the 16-byte records.
@@ -271,6 +275,8 @@ pub(crate) fn qsort(elems: u64, seed: u64) -> Result<Vm, AsmError> {
     a.bind(no_left);
     a.addi(T7, S6, 1);
     a.bge(T7, S3, pop_loop);
+    // Intentional jump-to-fallthrough (mica-lint warns): the push-right
+    // guard's merge jump, kept for the characterized control mix.
     a.jmp(push_right);
     a.bind(push_right);
     a.addi(SP, SP, -16);

@@ -108,17 +108,22 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 }
 
 /// FNV-1a fingerprint of the entire benchmark table: every benchmark's
-/// name, paper instruction count, data seed, and kernel parameterization
-/// (via its `Debug` rendering). Any edit to the table — reordering,
-/// re-parameterizing a kernel, swapping an input — changes the value, so
-/// profile caches keyed on it cannot silently survive a table change.
+/// name, paper instruction count, data seed, kernel parameterization (via
+/// its `Debug` rendering), and the *assembled instruction stream* of the
+/// kernel. Any edit to the table — reordering, re-parameterizing a kernel,
+/// swapping an input — changes the value, and so does any edit to a kernel
+/// builder that alters the emitted program, so profile caches keyed on it
+/// cannot silently survive a change to what actually runs.
 pub fn table_fingerprint() -> u64 {
-    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, b"mica-table-v1");
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, b"mica-table-v2");
     for spec in benchmark_table() {
         h = fnv1a(h, spec.name().as_bytes());
         h = fnv1a(h, &spec.paper_icount_millions.to_le_bytes());
         h = fnv1a(h, &spec.seed().to_le_bytes());
         h = fnv1a(h, format!("{:?}", spec.kernel).as_bytes());
+        let vm = spec.build_vm().expect("table kernels must assemble");
+        h = fnv1a(h, &(vm.program().len() as u64).to_le_bytes());
+        h = fnv1a(h, format!("{:?}", vm.program().insts()).as_bytes());
     }
     h
 }
