@@ -113,6 +113,21 @@ impl Serialize for str {
     }
 }
 
+/// A [`Value`] is its own representation, so `serde_json::from_str::<Value>`
+/// parses arbitrary JSON for schema-agnostic inspection (the observability
+/// tests validate trace files this way).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

@@ -3,16 +3,23 @@
 //! model-selection rule).
 
 use mica_experiments::analysis::mica_dataset;
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::{kmeans, select_features_k, zscore_normalize, GaConfig};
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale()).unwrap();
+    let mut run = Runner::new("bic_probe");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .unwrap();
     let mica = mica_dataset(&set);
-    let ga = select_features_k(&mica, 8, GaConfig::default());
+    let ga = run.stage("ga", || select_features_k(&mica, 8, GaConfig::default()));
     let z = zscore_normalize(&mica).select_columns(&ga.selected);
-    for k in [1,2,4,6,8,10,12,15,20,25,30,40,50,60,70] {
-        let r = kmeans(&z, k, 0x4d49_4341 ^ k as u64);
-        println!("k={k:>3} bic={:>12.1} sse={:>10.2}", r.bic, r.sse);
-    }
+    run.stage("sweep", || {
+        for k in [1, 2, 4, 6, 8, 10, 12, 15, 20, 25, 30, 40, 50, 60, 70] {
+            let r = kmeans(&z, k, 0x4d49_4341 ^ k as u64);
+            println!("k={k:>3} bic={:>12.1} sse={:>10.2}", r.bic, r.sse);
+        }
+    });
+    run.finish();
 }

@@ -4,13 +4,16 @@
 
 use mica_experiments::analysis::workload_distances;
 use mica_experiments::results::{write_csv, write_text};
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::{pearson, plot};
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
-    let (mica, hpc) = workload_distances(&set);
+    let mut run = Runner::new("fig1");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
+    let (mica, hpc) = run.stage("distances", || workload_distances(&set));
 
     let r = pearson(mica.values(), hpc.values());
     println!("Figure 1 — HPC-space distance vs MICA-space distance");
@@ -19,23 +22,26 @@ fn main() {
     println!("max distance, MICA space: {:.3}", mica.max());
     println!("max distance, HPC space:  {:.3}", hpc.max());
 
-    let rows: Vec<String> = mica
-        .values()
-        .iter()
-        .zip(hpc.values())
-        .map(|(m, h)| format!("{m:.6},{h:.6}"))
-        .collect();
-    write_csv(&results_dir().join("fig1.csv"), "mica_distance,hpc_distance", &rows)
-        .expect("csv writes");
+    run.stage("write", || {
+        let rows: Vec<String> = mica
+            .values()
+            .iter()
+            .zip(hpc.values())
+            .map(|(m, h)| format!("{m:.6},{h:.6}"))
+            .collect();
+        write_csv(&results_dir().join("fig1.csv"), "mica_distance,hpc_distance", &rows)
+            .expect("csv writes");
 
-    let points: Vec<(f64, f64)> =
-        mica.values().iter().zip(hpc.values()).map(|(&m, &h)| (m, h)).collect();
-    let svg = plot::svg_scatter(
-        &format!("Fig. 1 — distance per benchmark tuple (r = {r:.3})"),
-        "distance in microarchitecture-independent space",
-        "distance in hardware performance counter space",
-        &points,
-    );
-    write_text(&results_dir().join("fig1.svg"), &svg).expect("svg writes");
-    println!("wrote {} and fig1.svg", results_dir().join("fig1.csv").display());
+        let points: Vec<(f64, f64)> =
+            mica.values().iter().zip(hpc.values()).map(|(&m, &h)| (m, h)).collect();
+        let svg = plot::svg_scatter(
+            &format!("Fig. 1 — distance per benchmark tuple (r = {r:.3})"),
+            "distance in microarchitecture-independent space",
+            "distance in hardware performance counter space",
+            &points,
+        );
+        write_text(&results_dir().join("fig1.svg"), &svg).expect("svg writes");
+    });
+    mica_obs::info!("wrote {} and fig1.svg", results_dir().join("fig1.csv").display());
+    run.finish();
 }

@@ -5,6 +5,7 @@
 
 use mica_experiments::analysis::mica_dataset;
 use mica_experiments::results::{write_csv, write_text};
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::{
     elimination_order, pairwise_distances, pearson, plot, select_features_k, zscore_normalize,
@@ -12,26 +13,31 @@ use mica_stats::{
 };
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
+    let mut run = Runner::new("fig5");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
     let mica = mica_dataset(&set);
     let z = zscore_normalize(&mica);
     let full = pairwise_distances(&z);
 
     // Walk the elimination order once and evaluate every retained-count.
-    let order = elimination_order(&mica);
-    let mut retained: Vec<usize> = (0..mica.cols()).collect();
-    let mut ce_curve = Vec::new();
-    for victim in &order {
-        retained.retain(|c| c != victim);
-        if retained.is_empty() {
-            break;
+    let ce_curve = run.stage("elimination", || {
+        let order = elimination_order(&mica);
+        let mut retained: Vec<usize> = (0..mica.cols()).collect();
+        let mut ce_curve = Vec::new();
+        for victim in &order {
+            retained.retain(|c| c != victim);
+            if retained.is_empty() {
+                break;
+            }
+            let reduced = pairwise_distances(&z.select_columns(&retained));
+            ce_curve.push((retained.len(), pearson(full.values(), reduced.values())));
         }
-        let reduced = pairwise_distances(&z.select_columns(&retained));
-        ce_curve.push((retained.len(), pearson(full.values(), reduced.values())));
-    }
+        ce_curve
+    });
 
-    let ga = select_features_k(&mica, 8, GaConfig::default());
+    let ga = run.stage("ga", || select_features_k(&mica, 8, GaConfig::default()));
 
     println!("Figure 5 — distance correlation vs number of retained metrics");
     println!("{:>8} {:>12}", "metrics", "CE rho");
@@ -67,5 +73,6 @@ fn main() {
         &series,
     );
     write_text(&results_dir().join("fig5.svg"), &svg).expect("svg writes");
-    println!("wrote fig5.csv and fig5.svg");
+    mica_obs::info!("wrote fig5.csv and fig5.svg");
+    run.finish();
 }

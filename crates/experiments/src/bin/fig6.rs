@@ -5,6 +5,7 @@
 
 use mica_experiments::analysis::{metric_short_names, minmax_normalize_columns, mica_dataset};
 use mica_experiments::results::{write_csv, write_text};
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::{
     choose_k_by_bic, hierarchical_cluster, pairwise_distances, plot, select_features_k,
@@ -12,15 +13,17 @@ use mica_stats::{
 };
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
+    let mut run = Runner::new("fig6");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
     let mica = mica_dataset(&set);
 
-    let ga = select_features_k(&mica, 8, GaConfig::default());
+    let ga = run.stage("ga", || select_features_k(&mica, 8, GaConfig::default()));
     println!("clustering in the GA-selected 8-metric space: {:?}", ga.selected);
 
     let z = zscore_normalize(&mica).select_columns(&ga.selected);
-    let clustering = choose_k_by_bic(&z, 70, 0x4d49_4341);
+    let clustering = run.stage("cluster", || choose_k_by_bic(&z, 70, 0x4d49_4341));
     println!(
         "BIC selects K = {} clusters (paper: 15; BIC rule = first K within 90% of max)",
         clustering.k()
@@ -82,10 +85,12 @@ fn main() {
 
     // Cross-check the partition quality against the dendrogram method used
     // by the prior work: same K, average-linkage cut, silhouette scores.
-    let d = pairwise_distances(&z);
-    let km_sil = silhouette(&d, &clustering.labels);
-    let hier_labels = hierarchical_cluster(&d).cut(clustering.k());
-    let hier_sil = silhouette(&d, &hier_labels);
+    let (km_sil, hier_sil) = run.stage("silhouette", || {
+        let d = pairwise_distances(&z);
+        let km_sil = silhouette(&d, &clustering.labels);
+        let hier_labels = hierarchical_cluster(&d).cut(clustering.k());
+        (km_sil, silhouette(&d, &hier_labels))
+    });
     println!(
         "\nsilhouette at K = {}: k-means {:.3}, average-linkage {:.3}",
         clustering.k(),
@@ -95,5 +100,6 @@ fn main() {
 
     write_csv(&results_dir().join("fig6_clusters.csv"), "cluster,benchmark", &rows)
         .expect("csv writes");
-    println!("\nwrote fig6_clusters.csv and per-benchmark kiviat SVGs under fig6/");
+    mica_obs::info!("wrote fig6_clusters.csv and per-benchmark kiviat SVGs under fig6/");
+    run.finish();
 }

@@ -5,10 +5,12 @@
 //! with `mica-par` (set `MICA_THREADS` to bound the worker count).
 
 use mica_experiments::lint::lint_all;
+use mica_experiments::runner::Runner;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let reports = lint_all();
+    let mut run = Runner::new("mica-lint");
+    let reports = run.stage("lint", lint_all);
     let linted = reports.len();
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
         warnings += report.warnings().count();
     }
     println!("mica-lint: {linted} programs, {errors} error(s), {warnings} warning(s)");
+    run.finish();
     if errors > 0 {
         ExitCode::FAILURE
     } else {

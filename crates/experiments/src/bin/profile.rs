@@ -1,17 +1,22 @@
 //! Profile all 122 benchmarks (ignoring any cache) and write
 //! `results/profiles.json`.
 
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::profile_all, results_dir, scale};
 
 fn main() {
-    let set = profile_all(scale()).unwrap_or_else(|e| {
-        eprintln!("profiling failed: {e}");
+    let mut run = Runner::new("profile");
+    let set = run.stage("profile", || profile_all(scale())).unwrap_or_else(|e| {
+        mica_obs::error!("profiling failed: {e}");
+        mica_obs::flush();
         std::process::exit(1);
     });
     let path = results_dir().join("profiles.json");
-    set.save(&path).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", path.display());
+    run.stage("save", || set.save(&path)).unwrap_or_else(|e| {
+        mica_obs::error!("cannot write {}: {e}", path.display());
+        mica_obs::flush();
         std::process::exit(1);
     });
-    println!("profiled {} benchmarks -> {}", set.records.len(), path.display());
+    mica_obs::info!("profiled {} benchmarks -> {}", set.records.len(), path.display());
+    run.finish();
 }

@@ -6,6 +6,7 @@
 use mica_core::METRICS;
 use mica_experiments::analysis::{mica_dataset, workload_distances};
 use mica_experiments::results::write_text;
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::{
     auc, choose_k_by_bic, classify_pairs, correlation_elimination, pairwise_distances, pearson,
@@ -14,11 +15,13 @@ use mica_stats::{
 use std::fmt::Write as _;
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
+    let mut run = Runner::new("report");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
     let mica = mica_dataset(&set);
     let z = zscore_normalize(&mica);
-    let (dm, dh) = workload_distances(&set);
+    let (dm, dh) = run.stage("distances", || workload_distances(&set));
 
     // Raw data export.
     let headers: Vec<String> = METRICS.iter().map(|m| m.short.to_string()).collect();
@@ -45,7 +48,7 @@ fn main() {
     let _ = writeln!(md, "| false positives | 41.1% | {:.1}% |", 100.0 * c.false_positive);
 
     // Feature selection (Figs. 4-5, Table IV).
-    let ga = select_features_k(&mica, 8, GaConfig::default());
+    let ga = run.stage("ga", || select_features_k(&mica, 8, GaConfig::default()));
     let ce8 = correlation_elimination(&mica, 8);
     let d_ga = pairwise_distances(&z.select_columns(&ga.selected));
     let d_ce = pairwise_distances(&z.select_columns(&ce8));
@@ -65,7 +68,7 @@ fn main() {
 
     // Clustering (Fig. 6).
     let sel = z.select_columns(&ga.selected);
-    let clustering = choose_k_by_bic(&sel, 70, 0x4d49_4341);
+    let clustering = run.stage("cluster", || choose_k_by_bic(&sel, 70, 0x4d49_4341));
     let singletons = clustering.members().iter().filter(|m| m.len() == 1).count();
     let _ = writeln!(md, "\n## Clustering (Fig. 6)\n");
     let _ = writeln!(md, "- K selected by BIC: {} (paper: 15)", clustering.k());
@@ -87,5 +90,6 @@ fn main() {
 
     let path = results_dir().join("REPORT.md");
     write_text(&path, &md).expect("report writes");
-    println!("wrote {} and mica_dataset.csv", path.display());
+    mica_obs::info!("wrote {} and mica_dataset.csv", path.display());
+    run.finish();
 }

@@ -10,6 +10,7 @@
 //! to other microarchitectures." — Section IV.
 
 use mica_experiments::results::write_csv;
+use mica_experiments::runner::Runner;
 use mica_experiments::{results_dir, scale};
 use mica_stats::{classify_pairs, pairwise_distances, pearson, zscore_normalize, DataSet};
 use mica_workloads::benchmark_table;
@@ -58,23 +59,29 @@ impl TraceSink for Both {
 }
 
 fn main() {
+    let mut run = Runner::new("sensitivity");
     let table = benchmark_table();
-    let mut alpha_rows = Vec::with_capacity(table.len());
-    let mut modern_rows = Vec::with_capacity(table.len());
-    for (i, spec) in table.iter().enumerate() {
-        let budget = ((spec.instruction_budget() as f64) * scale()).max(10_000.0) as u64;
-        eprintln!("[{:3}/{}] {}", i + 1, table.len(), spec.name());
-        let mut vm = spec.build_vm().expect("kernel builds");
-        let mut both = Both { alpha: HpcSimulator::new(), modern: modern_pair() };
-        vm.run(&mut both, budget).expect("kernel runs");
-        alpha_rows.push(both.alpha.finish().counter_vector());
-        modern_rows.push(both.modern.finish().counter_vector());
-    }
+    let (alpha_rows, modern_rows) = run.stage("profile", || {
+        let mut alpha_rows = Vec::with_capacity(table.len());
+        let mut modern_rows = Vec::with_capacity(table.len());
+        for (i, spec) in table.iter().enumerate() {
+            let budget = ((spec.instruction_budget() as f64) * scale()).max(10_000.0) as u64;
+            mica_obs::info!("[{:3}/{}] {}", i + 1, table.len(), spec.name());
+            let mut vm = spec.build_vm().expect("kernel builds");
+            let mut both = Both { alpha: HpcSimulator::new(), modern: modern_pair() };
+            vm.run(&mut both, budget).expect("kernel runs");
+            alpha_rows.push(both.alpha.finish().counter_vector());
+            modern_rows.push(both.modern.finish().counter_vector());
+        }
+        (alpha_rows, modern_rows)
+    });
 
-    let d_alpha =
-        pairwise_distances(&zscore_normalize(&DataSet::from_rows(alpha_rows)));
-    let d_modern =
-        pairwise_distances(&zscore_normalize(&DataSet::from_rows(modern_rows)));
+    let (d_alpha, d_modern) = run.stage("distances", || {
+        (
+            pairwise_distances(&zscore_normalize(&DataSet::from_rows(alpha_rows))),
+            pairwise_distances(&zscore_normalize(&DataSet::from_rows(modern_rows))),
+        )
+    });
 
     let r = pearson(d_alpha.values(), d_modern.values());
     println!("\nMachine sensitivity of the counter-based workload space");
@@ -103,5 +110,6 @@ fn main() {
         .collect();
     write_csv(&results_dir().join("sensitivity.csv"), "alpha_distance,modern_distance", &rows)
         .expect("csv writes");
-    println!("\nwrote {}", results_dir().join("sensitivity.csv").display());
+    mica_obs::info!("wrote {}", results_dir().join("sensitivity.csv").display());
+    run.finish();
 }

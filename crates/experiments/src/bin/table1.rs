@@ -1,12 +1,15 @@
 //! Table I: the 122 benchmarks with their inputs and dynamic instruction
 //! counts — the paper's counts alongside this reproduction's scaled runs.
 
-use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_experiments::results::write_csv;
+use mica_experiments::runner::Runner;
+use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
+    let mut run = Runner::new("table1");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
 
     println!("Table I — benchmarks, inputs and dynamic instruction counts");
     println!(
@@ -30,7 +33,10 @@ fn main() {
         ));
     }
     let csv = results_dir().join("table1.csv");
-    write_csv(&csv, "suite,program,input,paper_icount_millions,executed_instructions", &rows)
-        .expect("csv writes");
-    println!("\n{} benchmarks -> {}", set.records.len(), csv.display());
+    run.stage("write", || {
+        write_csv(&csv, "suite,program,input,paper_icount_millions,executed_instructions", &rows)
+            .expect("csv writes");
+    });
+    mica_obs::info!("{} benchmarks -> {}", set.records.len(), csv.display());
+    run.finish();
 }

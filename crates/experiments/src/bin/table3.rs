@@ -4,13 +4,16 @@
 
 use mica_experiments::analysis::workload_distances;
 use mica_experiments::results::write_csv;
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::classify_pairs;
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
-    let (mica, hpc) = workload_distances(&set);
+    let mut run = Runner::new("table3");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
+    let (mica, hpc) = run.stage("distances", || workload_distances(&set));
     let c = classify_pairs(hpc.values(), mica.values(), 0.2, 0.2);
 
     println!("Table III — classifying benchmark tuples (thresholds: 20% of max distance)");
@@ -41,15 +44,18 @@ fn main() {
     );
     println!("\nsensitivity: {:.3}   specificity: {:.3}", c.sensitivity(), c.specificity());
 
-    write_csv(
-        &results_dir().join("table3.csv"),
-        "category,paper_pct,measured_pct",
-        &[
-            format!("false_negative,0.2,{:.2}", 100.0 * c.false_negative),
-            format!("true_positive,56.9,{:.2}", 100.0 * c.true_positive),
-            format!("true_negative,1.8,{:.2}", 100.0 * c.true_negative),
-            format!("false_positive,41.1,{:.2}", 100.0 * c.false_positive),
-        ],
-    )
-    .expect("csv writes");
+    run.stage("write", || {
+        write_csv(
+            &results_dir().join("table3.csv"),
+            "category,paper_pct,measured_pct",
+            &[
+                format!("false_negative,0.2,{:.2}", 100.0 * c.false_negative),
+                format!("true_positive,56.9,{:.2}", 100.0 * c.true_positive),
+                format!("true_negative,1.8,{:.2}", 100.0 * c.true_negative),
+                format!("false_positive,41.1,{:.2}", 100.0 * c.false_positive),
+            ],
+        )
+        .expect("csv writes");
+    });
+    run.finish();
 }

@@ -6,6 +6,7 @@
 use mica_core::METRICS;
 use mica_experiments::analysis::mica_dataset;
 use mica_experiments::results::write_csv;
+use mica_experiments::runner::Runner;
 use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 use mica_stats::{select_features, select_features_k, GaConfig};
 
@@ -21,12 +22,14 @@ const PAPER_TABLE_IV: [&str; 8] = [
 ];
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
-        .expect("profiling succeeds");
+    let mut run = Runner::new("table4");
+    let set =
+        run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
+            .expect("profiling succeeds");
     let mica = mica_dataset(&set);
 
-    let free = select_features(&mica, GaConfig::default());
-    let fixed = select_features_k(&mica, 8, GaConfig::default());
+    let free = run.stage("ga_free", || select_features(&mica, GaConfig::default()));
+    let fixed = run.stage("ga_fixed", || select_features_k(&mica, 8, GaConfig::default()));
 
     println!("Table IV — characteristics selected by the genetic algorithm\n");
     println!(
@@ -62,4 +65,5 @@ fn main() {
 
     write_csv(&results_dir().join("table4.csv"), "rank,metric,category", &rows)
         .expect("csv writes");
+    run.finish();
 }

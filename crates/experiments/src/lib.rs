@@ -12,11 +12,17 @@
 //! - `MICA_SCALE` — float multiplier on every benchmark's instruction
 //!   budget (default 1.0);
 //! - `MICA_RESULTS_DIR` — output directory (default `results`).
+//!
+//! Observability (`MICA_LOG`, `MICA_TRACE`, `MICA_EVENTS`) is provided by
+//! [`mica_obs`]; every binary drives a [`runner::Runner`] that times its
+//! stages and writes a machine-readable `run-<bin>.json` report next to
+//! its outputs.
 
 pub mod analysis;
 pub mod lint;
 pub mod profile;
 pub mod results;
+pub mod runner;
 
 use std::path::PathBuf;
 

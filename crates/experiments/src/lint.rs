@@ -47,9 +47,13 @@ pub fn lint_all() -> Vec<(String, Report)> {
     let specs = benchmark_table();
     let config = workload_config();
     par_map(&specs, |spec| {
+        let mut span = mica_obs::span("lint", spec.name());
         let vm = spec.build_vm().unwrap_or_else(|e| {
             panic!("{}: kernel failed to assemble: {e}", spec.name());
         });
-        (spec.name(), verify(vm.program(), &config))
+        let report = verify(vm.program(), &config);
+        span.attr("errors", report.errors().count() as u64);
+        span.attr("warnings", report.warnings().count() as u64);
+        (spec.name(), report)
     })
 }

@@ -2,11 +2,44 @@
 
 use crate::results::{BenchRecord, ProfileSet};
 use mica_core::{CharacterizationSuite, MicaVector, NUM_METRICS};
+use mica_obs as obs;
 use mica_workloads::{benchmark_table, table_fingerprint, BenchmarkSpec};
 use std::fmt;
 use std::path::Path;
 use tinyisa::{AsmError, DynInst, TraceSink, VmError};
 use uarch_sim::{HpcProfile, HpcSimulator};
+
+/// Benchmarks profiled (each tandem run counts once).
+static KERNELS: obs::Counter = obs::Counter::new("profile.kernels");
+/// Dynamic instructions simulated across all profiled benchmarks.
+static INSTS: obs::Counter = obs::Counter::new("profile.insts");
+/// Cache reuses in [`load_or_profile_all`].
+static CACHE_HIT: obs::Counter = obs::Counter::new("profile.cache.hit");
+/// Cache misses, one counter per [`CacheMiss::reason`].
+static CACHE_MISS_ABSENT: obs::Counter = obs::Counter::new("profile.cache.miss.absent");
+static CACHE_MISS_IO: obs::Counter = obs::Counter::new("profile.cache.miss.io");
+static CACHE_MISS_PARSE: obs::Counter = obs::Counter::new("profile.cache.miss.parse");
+static CACHE_MISS_SCALE: obs::Counter = obs::Counter::new("profile.cache.miss.scale");
+static CACHE_MISS_FINGERPRINT: obs::Counter = obs::Counter::new("profile.cache.miss.fingerprint");
+static CACHE_MISS_SIZE: obs::Counter = obs::Counter::new("profile.cache.miss.size");
+
+/// Register every profiling counter so run summaries list them (at zero)
+/// even on paths that never touch the cache or the profiler.
+pub fn register_counters() {
+    for c in [
+        &KERNELS,
+        &INSTS,
+        &CACHE_HIT,
+        &CACHE_MISS_ABSENT,
+        &CACHE_MISS_IO,
+        &CACHE_MISS_PARSE,
+        &CACHE_MISS_SCALE,
+        &CACHE_MISS_FINGERPRINT,
+        &CACHE_MISS_SIZE,
+    ] {
+        c.register();
+    }
+}
 
 /// Errors while profiling a benchmark.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,12 +143,6 @@ pub fn profile_benchmark(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecor
     })
 }
 
-/// Progress logging is on unless `MICA_QUIET` is set (benchmarks and tests
-/// that profile repeatedly set it to keep stderr usable).
-fn progress_enabled() -> bool {
-    std::env::var_os("MICA_QUIET").is_none()
-}
-
 /// Reject scales that would produce meaningless budgets. NaN, infinities,
 /// zero, and negatives all previously slipped through the `as u64` cast
 /// (NaN casts to 0, infinity saturates) and silently profiled garbage.
@@ -178,17 +205,33 @@ pub fn profile_all(scale: f64) -> Result<ProfileSet, ProfileError> {
     validate_scale(scale)?;
     let table = benchmark_table();
     let total = table.len();
+    let mut all_span = obs::span("profile", "profile_all");
+    all_span.attr("benchmarks", total as u64);
+    all_span.attr("scale", scale);
     let progress = mica_par::Progress::new();
     let results = mica_par::par_map(&table, |spec| {
         let budget = scaled_budget(spec, scale);
-        let rec = profile_benchmark(spec, budget);
+        let rec = run_one(spec, budget);
         let done = progress.tick();
-        if progress_enabled() {
-            eprintln!("[{done:3}/{total}] {} ({budget} insts)", spec.name());
-        }
+        obs::info!("[{done:3}/{total}] {} ({budget} insts)", spec.name());
         rec
     });
     finish_set(scale, results)
+}
+
+/// Profile one benchmark under a per-kernel span (the span lands on the
+/// worker thread that ran it, so Chrome traces show the kernel on its
+/// pool lane) and feed the `profile.*` counters.
+fn run_one(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecord, ProfileError> {
+    let mut span = obs::span("profile", spec.name());
+    span.attr("budget", budget);
+    let rec = profile_benchmark(spec, budget);
+    KERNELS.incr();
+    if let Ok(r) = &rec {
+        INSTS.add(r.executed_instructions);
+        span.attr("insts", r.executed_instructions);
+    }
+    rec
 }
 
 /// Single-threaded reference implementation of [`profile_all`].
@@ -204,13 +247,122 @@ pub fn profile_all_serial(scale: f64) -> Result<ProfileSet, ProfileError> {
         .enumerate()
         .map(|(i, spec)| {
             let budget = scaled_budget(spec, scale);
-            if progress_enabled() {
-                eprintln!("[{:3}/{}] {} ({budget} insts)", i + 1, table.len(), spec.name());
-            }
-            profile_benchmark(spec, budget)
+            obs::info!("[{:3}/{}] {} ({budget} insts)", i + 1, table.len(), spec.name());
+            run_one(spec, budget)
         })
         .collect();
     finish_set(scale, results)
+}
+
+/// Why a cached [`ProfileSet`] could not be reused. Every rejection is
+/// reported as a structured warn event with the [`reason`](Self::reason)
+/// attached, and bumps the matching `profile.cache.miss.*` counter — a
+/// re-profile is minutes of work at full scale and used to happen silently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheMiss {
+    /// No cache file exists at the path (normal on a first run).
+    Absent,
+    /// The file exists but could not be read.
+    Unreadable(String),
+    /// The file is not a valid serialized `ProfileSet`.
+    Parse(String),
+    /// The cache was collected at a different budget scale.
+    Scale {
+        /// Scale stored in the cache.
+        cached: f64,
+        /// Scale this run asked for.
+        requested: f64,
+    },
+    /// The cache was produced by a different benchmark table or metric
+    /// layout (see [`profile_fingerprint`]).
+    Fingerprint {
+        /// Fingerprint stored in the cache.
+        cached: u64,
+        /// Fingerprint of the current build.
+        current: u64,
+    },
+    /// The record count does not match the benchmark table.
+    Size {
+        /// Records in the cache.
+        cached: usize,
+        /// Benchmarks in the table.
+        expected: usize,
+    },
+}
+
+impl CacheMiss {
+    /// Stable identifier for counters and structured events.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            CacheMiss::Absent => "absent",
+            CacheMiss::Unreadable(_) => "io",
+            CacheMiss::Parse(_) => "parse",
+            CacheMiss::Scale { .. } => "scale",
+            CacheMiss::Fingerprint { .. } => "fingerprint",
+            CacheMiss::Size { .. } => "size",
+        }
+    }
+
+    fn counter(&self) -> &'static obs::Counter {
+        match self {
+            CacheMiss::Absent => &CACHE_MISS_ABSENT,
+            CacheMiss::Unreadable(_) => &CACHE_MISS_IO,
+            CacheMiss::Parse(_) => &CACHE_MISS_PARSE,
+            CacheMiss::Scale { .. } => &CACHE_MISS_SCALE,
+            CacheMiss::Fingerprint { .. } => &CACHE_MISS_FINGERPRINT,
+            CacheMiss::Size { .. } => &CACHE_MISS_SIZE,
+        }
+    }
+}
+
+impl fmt::Display for CacheMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheMiss::Absent => write!(f, "no cache file"),
+            CacheMiss::Unreadable(e) => write!(f, "cache unreadable: {e}"),
+            CacheMiss::Parse(e) => write!(f, "cache does not parse: {e}"),
+            CacheMiss::Scale { cached, requested } => {
+                write!(f, "cached at scale {cached}, run wants {requested}")
+            }
+            CacheMiss::Fingerprint { cached, current } => write!(
+                f,
+                "cache fingerprint {cached:#018x} != current {current:#018x} \
+                 (different benchmark table or metric layout)"
+            ),
+            CacheMiss::Size { cached, expected } => {
+                write!(f, "cache holds {cached} records, table has {expected}")
+            }
+        }
+    }
+}
+
+/// Inspect the cache at `path` and return it only if it is reusable for a
+/// run at `scale`: readable, well-formed, same scale, current
+/// [`profile_fingerprint`], and one record per table entry.
+///
+/// # Errors
+///
+/// The precise [`CacheMiss`] explaining why the cache cannot be used.
+pub fn check_cache(path: &Path, scale: f64) -> Result<ProfileSet, CacheMiss> {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CacheMiss::Absent),
+        Err(e) => return Err(CacheMiss::Unreadable(e.to_string())),
+    };
+    let set: ProfileSet =
+        serde_json::from_str(&json).map_err(|e| CacheMiss::Parse(e.to_string()))?;
+    if (set.scale - scale).abs() >= 1e-12 {
+        return Err(CacheMiss::Scale { cached: set.scale, requested: scale });
+    }
+    let current = profile_fingerprint();
+    if set.fingerprint != current {
+        return Err(CacheMiss::Fingerprint { cached: set.fingerprint, current });
+    }
+    let expected = benchmark_table().len();
+    if set.records.len() != expected {
+        return Err(CacheMiss::Size { cached: set.records.len(), expected });
+    }
+    Ok(set)
 }
 
 /// Load cached profiles from `path` if they exist at the requested scale
@@ -219,27 +371,31 @@ pub fn profile_all_serial(scale: f64) -> Result<ProfileSet, ProfileError> {
 ///
 /// # Errors
 ///
-/// Propagates profiling errors; cache I/O problems fall back to
-/// re-profiling, and a failure to *write* the cache is reported on stderr
-/// but does not fail the run.
+/// Propagates profiling errors; any cache problem (see [`CacheMiss`]) is
+/// reported as a structured warn event and falls back to re-profiling,
+/// and a failure to *write* the cache is warned about but does not fail
+/// the run.
 pub fn load_or_profile_all(path: &Path, scale: f64) -> Result<ProfileSet, ProfileError> {
     validate_scale(scale)?;
-    if let Ok(set) = ProfileSet::load(path) {
-        if (set.scale - scale).abs() < 1e-12
-            && set.fingerprint == profile_fingerprint()
-            && set.records.len() == benchmark_table().len()
-        {
-            eprintln!("loaded {} cached profiles from {}", set.records.len(), path.display());
+    match check_cache(path, scale) {
+        Ok(set) => {
+            CACHE_HIT.incr();
+            obs::info!("loaded {} cached profiles from {}", set.records.len(), path.display());
             return Ok(set);
         }
-        eprintln!(
-            "cache at {} is stale (scale, fingerprint, or size mismatch); re-profiling",
-            path.display()
-        );
+        Err(miss) => {
+            miss.counter().incr();
+            obs::emit_with(
+                obs::Level::Warn,
+                module_path!(),
+                format!("re-profiling: cache {} unusable: {miss}", path.display()),
+                vec![("reason", obs::Attr::from(miss.reason()))],
+            );
+        }
     }
     let set = profile_all(scale)?;
     if let Err(e) = set.save(path) {
-        eprintln!("warning: could not write profile cache {}: {e}", path.display());
+        obs::warn!("could not write profile cache {}: {e}", path.display());
     }
     Ok(set)
 }

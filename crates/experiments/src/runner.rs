@@ -1,0 +1,125 @@
+//! Run-level orchestration shared by the experiment binaries.
+//!
+//! Every `src/bin/*` entry point used to hand-roll its own stage timing and
+//! stderr chatter. [`Runner`] replaces that: it opens a run-level span,
+//! times each named [`stage`](Runner::stage) under a child span, and on
+//! [`finish`](Runner::finish) writes a machine-readable
+//! `results/run-<bin>.json` summary — wall time per stage, every registered
+//! `mica-obs` counter, thread count, budget scale, and the workload-table
+//! fingerprint — then flushes all sinks so `MICA_TRACE` files are complete
+//! even if the binary exits immediately afterwards.
+
+use mica_obs as obs;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall time of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name as passed to [`Runner::stage`].
+    pub name: String,
+    /// Wall-clock seconds the stage took.
+    pub wall_s: f64,
+}
+
+/// One global counter at the end of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Counter name (e.g. `profile.cache.hit`).
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// The machine-readable run report written as `results/run-<bin>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Binary name the run belongs to.
+    pub bin: String,
+    /// Budget scale the run used (`MICA_SCALE`).
+    pub scale: f64,
+    /// Worker-pool width (`MICA_THREADS` or detected parallelism).
+    pub threads: u64,
+    /// Fingerprint of the benchmark table the binaries were built with.
+    pub table_fingerprint: u64,
+    /// Total wall-clock seconds from [`Runner::new`] to [`Runner::finish`].
+    pub wall_s: f64,
+    /// Per-stage wall times, in execution order.
+    pub stages: Vec<StageSummary>,
+    /// Every registered counter, sorted by name.
+    pub counters: Vec<CounterEntry>,
+}
+
+/// Stage-timing and run-report helper; one per binary invocation.
+pub struct Runner {
+    bin: &'static str,
+    started: Instant,
+    run_span: obs::Span,
+    stages: Vec<StageSummary>,
+}
+
+impl Runner {
+    /// Start a run for binary `bin`: registers the profiling counters (so
+    /// they appear at zero in the summary even on cache-free paths), opens
+    /// the run-level span, and announces the run configuration at info.
+    pub fn new(bin: &'static str) -> Runner {
+        crate::profile::register_counters();
+        let threads = mica_par::num_threads();
+        let scale = crate::scale();
+        let mut run_span = obs::span("run", bin);
+        run_span.attr("threads", threads as u64);
+        run_span.attr("scale", scale);
+        obs::info!("{bin}: starting ({threads} threads, scale {scale})");
+        Runner { bin, started: Instant::now(), run_span, stages: Vec::new() }
+    }
+
+    /// Run `f` as the named stage: timed, wrapped in a `stage` span, and
+    /// recorded for the run summary.
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let _span = obs::span("stage", name.to_string());
+        let out = f();
+        let wall_s = started.elapsed().as_secs_f64();
+        obs::debug!("{}: stage {name} took {wall_s:.3}s", self.bin);
+        self.stages.push(StageSummary { name: name.to_string(), wall_s });
+        out
+    }
+
+    /// Close the run: write `run-<bin>.json` under the results directory,
+    /// flush every sink, and return the summary. A summary that cannot be
+    /// written is warned about, never fatal — the run's real outputs are
+    /// the tables and figures.
+    pub fn finish(self) -> RunSummary {
+        let Runner { bin, started, mut run_span, stages } = self;
+        let summary = RunSummary {
+            bin: bin.to_string(),
+            scale: crate::scale(),
+            threads: mica_par::num_threads() as u64,
+            table_fingerprint: mica_workloads::table_fingerprint(),
+            wall_s: started.elapsed().as_secs_f64(),
+            stages,
+            counters: obs::counters()
+                .into_iter()
+                .map(|(name, value)| CounterEntry { name, value })
+                .collect(),
+        };
+        let path = crate::results_dir().join(format!("run-{bin}.json"));
+        let json = serde_json::to_string_pretty(&summary).expect("RunSummary serializes");
+        let written = path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(&path, json));
+        match written {
+            Ok(()) => obs::info!(
+                "{bin}: done in {:.3}s; run summary at {}",
+                summary.wall_s,
+                path.display()
+            ),
+            Err(e) => obs::warn!("{bin}: cannot write run summary {}: {e}", path.display()),
+        }
+        run_span.attr("wall_s", summary.wall_s);
+        drop(run_span);
+        obs::flush();
+        summary
+    }
+}

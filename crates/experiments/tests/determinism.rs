@@ -24,6 +24,55 @@ fn parallel_profile_all_is_byte_identical_to_serial() {
     assert_eq!(par_json, ser_json, "serialized artifacts must match byte for byte");
 }
 
+/// Observability must be a pure observer: running the identical sweep with
+/// a Chrome-trace sink and a JSON-lines sink attached cannot change a
+/// single byte of the scientific output.
+#[test]
+fn tracing_does_not_change_results() {
+    std::env::set_var("MICA_THREADS", "4");
+    std::env::set_var("MICA_QUIET", "1");
+    let dir = std::env::temp_dir().join(format!("mica_trace_determinism_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let events_path = dir.join("events.jsonl");
+
+    let quiet = profile_all(1e-9).expect("untraced profiling succeeds");
+
+    // Sinks are installed programmatically (not via MICA_TRACE) because the
+    // env-driven init already ran for this process.
+    let trace = mica_obs::add_sink(Box::new(mica_obs::ChromeTraceSink::create(trace_path.clone())));
+    let events = mica_obs::add_sink(Box::new(
+        mica_obs::JsonLinesSink::create(events_path.clone()).expect("events file opens"),
+    ));
+    let traced = profile_all(1e-9).expect("traced profiling succeeds");
+    mica_obs::flush();
+    mica_obs::remove_sink(trace);
+    mica_obs::remove_sink(events);
+
+    assert_eq!(
+        serde_json::to_string(&quiet).expect("serializes"),
+        serde_json::to_string(&traced).expect("serializes"),
+        "tracing changed the profile artifact"
+    );
+
+    // And the observer actually observed: the trace is valid Chrome-trace
+    // JSON with per-kernel spans, the event log is non-empty JSON lines.
+    let doc: serde::Value = serde_json::from_str(
+        &std::fs::read_to_string(&trace_path).expect("trace written"),
+    )
+    .expect("trace parses");
+    let n_events = doc
+        .field("traceEvents")
+        .and_then(|v| v.as_array())
+        .map(|a| a.len())
+        .expect("traceEvents array");
+    assert!(n_events > 122, "expected per-kernel spans, got {n_events} trace events");
+    let jsonl = std::fs::read_to_string(&events_path).expect("events written");
+    assert!(jsonl.lines().count() > 0, "JSON-lines log is empty");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
 #[test]
 fn profile_order_follows_table_order_not_completion_order() {
     std::env::set_var("MICA_THREADS", "4");

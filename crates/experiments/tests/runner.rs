@@ -1,0 +1,57 @@
+//! The [`Runner`] run report: `results/run-<bin>.json` must round-trip
+//! through the serde layer and carry the stage timings and counters the CI
+//! dashboards key on.
+
+use mica_experiments::runner::{Runner, RunSummary};
+
+#[test]
+fn finish_writes_a_parseable_run_summary() {
+    let dir = std::env::temp_dir().join(format!("mica_runner_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("MICA_RESULTS_DIR", &dir);
+    std::env::set_var("MICA_LOG", "off");
+    std::env::remove_var("MICA_TRACE");
+    std::env::remove_var("MICA_EVENTS");
+    std::env::set_var("MICA_THREADS", "3");
+    std::env::set_var("MICA_SCALE", "0.125");
+
+    let mut run = Runner::new("testbin");
+    let answer = run.stage("warmup", || 41 + 1);
+    assert_eq!(answer, 42);
+    run.stage("spin", || {
+        let mut acc = 0u64;
+        for i in 0..50_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        assert!(acc > 0);
+    });
+    let returned = run.finish();
+
+    let path = dir.join("run-testbin.json");
+    let text = std::fs::read_to_string(&path).expect("run summary exists");
+    let parsed: RunSummary = serde_json::from_str(&text).expect("summary parses");
+    assert_eq!(parsed, returned);
+
+    assert_eq!(parsed.bin, "testbin");
+    assert_eq!(parsed.threads, 3);
+    assert!((parsed.scale - 0.125).abs() < 1e-12);
+    assert_eq!(parsed.table_fingerprint, mica_workloads::table_fingerprint());
+    assert!(parsed.wall_s > 0.0);
+
+    let stage_names: Vec<&str> = parsed.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(stage_names, ["warmup", "spin"]);
+    assert!(parsed.stages.iter().all(|s| s.wall_s >= 0.0));
+    assert!(parsed.wall_s >= parsed.stages.iter().map(|s| s.wall_s).sum::<f64>());
+
+    // Runner::new registers the profiling counters, so they appear (at
+    // least at zero) even though this test never profiled anything.
+    let counter_names: Vec<&str> = parsed.counters.iter().map(|c| c.name.as_str()).collect();
+    for expected in ["profile.kernels", "profile.cache.hit", "profile.cache.miss.absent"] {
+        assert!(counter_names.contains(&expected), "missing counter {expected}");
+    }
+    let mut sorted = counter_names.clone();
+    sorted.sort_unstable();
+    assert_eq!(counter_names, sorted, "counters are sorted by name");
+
+    std::fs::remove_dir_all(dir).ok();
+}

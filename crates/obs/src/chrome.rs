@@ -1,0 +1,99 @@
+//! Chrome-trace exporter (`MICA_TRACE=out.json`).
+//!
+//! Emits the Trace Event Format understood by `chrome://tracing` and
+//! Perfetto: spans as complete (`"ph":"X"`) events and leveled events as
+//! instants (`"ph":"i"`), all under one pid with the logical thread id as
+//! the track — so `par_map` fan-out renders as one lane per pool worker
+//! (`worker-0`…`worker-N`) beside the `main` lane.
+//!
+//! Records are buffered in memory and the whole file (including
+//! `thread_name` metadata for every tid seen) is rewritten on each
+//! [`Sink::flush`], so a crash mid-run loses the trace but a normal run
+//! pays no per-span I/O.
+
+use crate::{push_json_attrs, push_json_str, Event, Sink, SpanRecord};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Buffering Chrome-trace writer; finalized by [`Sink::flush`].
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    /// Pre-rendered JSON objects, one per trace event.
+    events: Mutex<Vec<String>>,
+}
+
+impl ChromeTraceSink {
+    /// A sink that will write `path` at flush time (no I/O until then).
+    pub fn create(path: PathBuf) -> ChromeTraceSink {
+        ChromeTraceSink { path, events: Mutex::new(Vec::new()) }
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn on_event(&self, event: &Event) {
+        let mut obj = String::with_capacity(96 + event.message.len());
+        obj.push_str("{\"name\":");
+        push_json_str(&mut obj, &event.message);
+        obj.push_str(",\"cat\":");
+        push_json_str(&mut obj, event.target);
+        obj.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+        obj.push_str(&event.ts_us.to_string());
+        obj.push_str(",\"pid\":1,\"tid\":");
+        obj.push_str(&event.tid.to_string());
+        obj.push_str(",\"args\":{\"level\":\"");
+        obj.push_str(event.level.lower());
+        obj.push_str("\",\"attrs\":");
+        push_json_attrs(&mut obj, &event.attrs);
+        obj.push_str("}}");
+        self.events.lock().expect("trace buffer poisoned").push(obj);
+    }
+
+    fn on_span(&self, span: &SpanRecord) {
+        let mut obj = String::with_capacity(96 + span.name.len());
+        obj.push_str("{\"name\":");
+        push_json_str(&mut obj, &span.name);
+        obj.push_str(",\"cat\":");
+        push_json_str(&mut obj, span.cat);
+        obj.push_str(",\"ph\":\"X\",\"ts\":");
+        obj.push_str(&span.ts_us.to_string());
+        obj.push_str(",\"dur\":");
+        obj.push_str(&span.dur_us.to_string());
+        obj.push_str(",\"pid\":1,\"tid\":");
+        obj.push_str(&span.tid.to_string());
+        obj.push_str(",\"args\":");
+        push_json_attrs(&mut obj, &span.attrs);
+        obj.push('}');
+        self.events.lock().expect("trace buffer poisoned").push(obj);
+    }
+
+    fn flush(&self) {
+        let events = self.events.lock().expect("trace buffer poisoned");
+        let mut out = String::with_capacity(events.iter().map(|e| e.len() + 2).sum::<usize>() + 512);
+        out.push_str("{\"traceEvents\":[");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"mica\"}}",
+        );
+        for (tid, name) in crate::thread_names() {
+            out.push_str(",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"name\":");
+            push_json_str(&mut out, &name);
+            out.push_str("}},{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"sort_index\":");
+            out.push_str(&tid.to_string());
+            out.push_str("}}");
+        }
+        for obj in events.iter() {
+            out.push(',');
+            out.push_str(obj);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&self.path, out) {
+            eprintln!("warning: cannot write trace file {}: {e}", self.path.display());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Process-wide atomic counters and power-of-two histograms.
+//!
+//! Both are registered by name in a global table on first use, so a
+//! `static COUNTER: Counter = Counter::new("profile.cache.hit")` anywhere
+//! in the workspace and a `counters()` snapshot in the run-summary writer
+//! agree on one cell. Bumping is a single relaxed `fetch_add` — safe in
+//! the `par_map` hot path — and, like all of `mica-obs`, has no effect on
+//! computed results.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static COUNTERS: OnceLock<Mutex<BTreeMap<&'static str, &'static AtomicU64>>> = OnceLock::new();
+static HISTOGRAMS: OnceLock<Mutex<BTreeMap<&'static str, &'static HistCells>>> = OnceLock::new();
+
+fn counter_table() -> &'static Mutex<BTreeMap<&'static str, &'static AtomicU64>> {
+    COUNTERS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn histogram_table() -> &'static Mutex<BTreeMap<&'static str, &'static HistCells>> {
+    HISTOGRAMS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A named monotonic counter. Declare as a `static` near its bump sites;
+/// the first touch registers the cell (one mutex hit), every later bump is
+/// lock-free.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// A handle for the counter named `name`. Handles with the same name
+    /// share one cell.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, cell: OnceLock::new() }
+    }
+
+    fn cell(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| {
+            let mut table = counter_table().lock().expect("counter table poisoned");
+            table.entry(self.name).or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+        })
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.cell().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+
+    /// Register the counter (at zero) without bumping it, so it appears in
+    /// [`counters`] snapshots — run summaries list known-but-unused
+    /// counters explicitly instead of omitting them.
+    pub fn register(&self) {
+        let _ = self.cell();
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Snapshot of every registered counter, ascending by name.
+pub fn counters() -> Vec<(String, u64)> {
+    counter_table()
+        .lock()
+        .expect("counter table poisoned")
+        .iter()
+        .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+        .collect()
+}
+
+const BUCKETS: usize = 64;
+
+struct HistCells {
+    /// `buckets[b]` counts values whose bit length is `b` (0 counts only
+    /// the value 0), i.e. bucket upper bounds 0, 1, 3, 7, ..., 2^63-1.
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A named histogram over `u64` values with power-of-two buckets — cheap
+/// enough for per-chunk durations, coarse enough to never matter.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<&'static HistCells>,
+}
+
+impl Histogram {
+    /// A handle for the histogram named `name`. Handles with the same
+    /// name share cells.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram { name, cell: OnceLock::new() }
+    }
+
+    fn cells(&self) -> &'static HistCells {
+        self.cell.get_or_init(|| {
+            let mut table = histogram_table().lock().expect("histogram table poisoned");
+            table.entry(self.name).or_insert_with(|| {
+                Box::leak(Box::new(HistCells {
+                    buckets: [const { AtomicU64::new(0) }; BUCKETS],
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }))
+            })
+        })
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let cells = self.cells();
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        cells.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        snapshot_cells(self.name, self.cells())
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts; bucket `b` holds values of bit length `b`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// 0..=1), or 0 when empty. Bucketed, so an *upper bound*, not an
+    /// exact order statistic.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+fn snapshot_cells(name: &str, cells: &HistCells) -> HistogramSnapshot {
+    HistogramSnapshot {
+        name: name.to_string(),
+        count: cells.count.load(Ordering::Relaxed),
+        sum: cells.sum.load(Ordering::Relaxed),
+        buckets: cells.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+/// Snapshot of every registered histogram, ascending by name.
+pub fn histograms() -> Vec<HistogramSnapshot> {
+    histogram_table()
+        .lock()
+        .expect("histogram table poisoned")
+        .iter()
+        .map(|(name, cells)| snapshot_cells(name, cells))
+        .collect()
+}
+
+/// Zero every registered counter and histogram (tests; run summaries of
+/// sequential runs in one process).
+pub fn reset_metrics() {
+    for (_, cell) in counter_table().lock().expect("counter table poisoned").iter() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for (_, cells) in histogram_table().lock().expect("histogram table poisoned").iter() {
+        for b in &cells.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        cells.count.store(0, Ordering::Relaxed);
+        cells.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_a_cell() {
+        static A: Counter = Counter::new("obs.test.shared");
+        static B: Counter = Counter::new("obs.test.shared");
+        let before = A.get();
+        B.add(3);
+        A.incr();
+        assert_eq!(A.get(), before + 4);
+        assert_eq!(B.get(), A.get());
+        assert!(counters().iter().any(|(n, _)| n == "obs.test.shared"));
+    }
+
+    #[test]
+    fn register_without_bumping_appears_at_zero_or_more() {
+        static C: Counter = Counter::new("obs.test.registered");
+        C.register();
+        let snap = counters();
+        assert!(snap.iter().any(|(n, _)| n == "obs.test.registered"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        static H: Histogram = Histogram::new("obs.test.hist");
+        for v in [0u64, 1, 2, 3, 1000] {
+            H.record(v);
+        }
+        let snap = H.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1006);
+        assert_eq!(snap.buckets[0], 1, "value 0");
+        assert_eq!(snap.buckets[1], 1, "value 1");
+        assert_eq!(snap.buckets[2], 2, "values 2 and 3");
+        assert_eq!(snap.buckets[10], 1, "value 1000 has bit length 10");
+        assert!((snap.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(snap.quantile_upper_bound(0.5), 3);
+        assert_eq!(snap.quantile_upper_bound(1.0), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        static H: Histogram = Histogram::new("obs.test.hist.empty");
+        let snap = H.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.quantile_upper_bound(0.9), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! JSON-lines recorder: one self-describing JSON object per line, events
+//! and spans interleaved in dispatch order — the machine-readable twin of
+//! the stderr log (`MICA_EVENTS=out.jsonl`).
+//!
+//! Schema (one of two shapes per line):
+//!
+//! ```json
+//! {"t":"event","ts_us":123,"tid":0,"level":"info","target":"…","msg":"…","attrs":{…}}
+//! {"t":"span","ts_us":120,"dur_us":15,"tid":1,"depth":0,"cat":"…","name":"…","attrs":{…}}
+//! ```
+
+use crate::{push_json_attrs, push_json_str, Event, Sink, SpanRecord};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Buffered JSON-lines writer; finalized by [`Sink::flush`].
+pub struct JsonLinesSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Create (truncating) the output file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: PathBuf) -> io::Result<JsonLinesSink> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(JsonLinesSink { out: Mutex::new(BufWriter::new(File::create(path)?)) })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().expect("jsonl writer poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn on_event(&self, event: &Event) {
+        let mut line = String::with_capacity(96 + event.message.len());
+        line.push_str("{\"t\":\"event\",\"ts_us\":");
+        line.push_str(&event.ts_us.to_string());
+        line.push_str(",\"tid\":");
+        line.push_str(&event.tid.to_string());
+        line.push_str(",\"level\":\"");
+        line.push_str(event.level.lower());
+        line.push_str("\",\"target\":");
+        push_json_str(&mut line, event.target);
+        line.push_str(",\"msg\":");
+        push_json_str(&mut line, &event.message);
+        line.push_str(",\"attrs\":");
+        push_json_attrs(&mut line, &event.attrs);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_span(&self, span: &SpanRecord) {
+        let mut line = String::with_capacity(96 + span.name.len());
+        line.push_str("{\"t\":\"span\",\"ts_us\":");
+        line.push_str(&span.ts_us.to_string());
+        line.push_str(",\"dur_us\":");
+        line.push_str(&span.dur_us.to_string());
+        line.push_str(",\"tid\":");
+        line.push_str(&span.tid.to_string());
+        line.push_str(",\"depth\":");
+        line.push_str(&span.depth.to_string());
+        line.push_str(",\"cat\":");
+        push_json_str(&mut line, span.cat);
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, &span.name);
+        line.push_str(",\"attrs\":");
+        push_json_attrs(&mut line, &span.attrs);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl writer poisoned").flush();
+    }
+}

@@ -1,0 +1,137 @@
+//! Chrome-trace exporter: the flushed file is one valid JSON document in
+//! the Trace Event Format, with complete (`"X"`) events per span, instant
+//! (`"i"`) events per log record, `thread_name` metadata for every worker
+//! track, and well-formed interval nesting inside each track.
+
+use mica_obs::{add_sink, remove_sink, ChromeTraceSink};
+use serde::Value;
+
+fn init() {
+    std::env::set_var("MICA_LOG", "off");
+    std::env::remove_var("MICA_TRACE");
+    std::env::remove_var("MICA_EVENTS");
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    v.field(name).unwrap_or_else(|| panic!("field {name} missing in {v:?}"))
+}
+
+fn as_str(v: &Value) -> &str {
+    match v {
+        Value::String(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::Number(n) => n.as_u64().expect("non-negative integer"),
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_file_is_perfetto_shaped() {
+    init();
+    let dir = std::env::temp_dir().join("mica_obs_chrome_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+
+    let id = add_sink(Box::new(ChromeTraceSink::create(path.clone())));
+
+    // One span tree on the calling thread, plus four "pool workers" that
+    // each produce a nested pair — the shape a par_map fan-out emits.
+    {
+        let _run = mica_obs::span("test", "run");
+        mica_obs::warn!("marker event");
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                scope.spawn(move || {
+                    mica_obs::set_worker(w);
+                    let mut outer = mica_obs::span("test", format!("task-{w}"));
+                    outer.attr("w", w as u64);
+                    let _inner = mica_obs::span("test", "chunk");
+                });
+            }
+        });
+    }
+    remove_sink(id);
+
+    let doc: Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+    let events = field(&doc, "traceEvents").as_array().expect("traceEvents array");
+    assert_eq!(as_str(field(&doc, "displayTimeUnit")), "ms");
+
+    let metadata: Vec<&Value> =
+        events.iter().filter(|e| as_str(field(e, "ph")) == "M").collect();
+    let complete: Vec<&Value> =
+        events.iter().filter(|e| as_str(field(e, "ph")) == "X").collect();
+    let instants: Vec<&Value> =
+        events.iter().filter(|e| as_str(field(e, "ph")) == "i").collect();
+    assert_eq!(events.len(), metadata.len() + complete.len() + instants.len());
+
+    // Process metadata plus a thread_name for every worker track.
+    assert!(metadata.iter().any(|m| as_str(field(m, "name")) == "process_name"));
+    for w in 0..4u64 {
+        let named = metadata.iter().any(|m| {
+            as_str(field(m, "name")) == "thread_name"
+                && as_u64(field(m, "tid")) == 1 + w
+                && as_str(field(field(m, "args"), "name")) == format!("worker-{w}")
+        });
+        assert!(named, "missing thread_name metadata for worker-{w}");
+    }
+
+    // 1 run span + 4 workers x (task + chunk) spans; 1 instant.
+    assert_eq!(complete.len(), 9);
+    assert_eq!(instants.len(), 1);
+    assert_eq!(as_str(field(instants[0], "name")), "marker event");
+    assert_eq!(as_str(field(field(instants[0], "args"), "level")), "warn");
+
+    // Every complete event carries the mandatory fields; attrs survive.
+    for x in &complete {
+        assert_eq!(as_u64(field(x, "pid")), 1);
+        field(x, "ts");
+        field(x, "dur");
+        field(x, "tid");
+    }
+    let task0 = complete
+        .iter()
+        .find(|x| as_str(field(x, "name")) == "task-0")
+        .expect("task-0 span present");
+    assert_eq!(as_u64(field(field(task0, "args"), "w")), 0);
+
+    // Per-track stack discipline: within each tid, intervals either nest
+    // or are disjoint — never partially overlap. This is what makes the
+    // trace render as clean per-worker lanes in Perfetto.
+    let mut tids: Vec<u64> = complete.iter().map(|x| as_u64(field(x, "tid"))).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() >= 5, "main track plus four worker tracks, got {tids:?}");
+    for tid in tids {
+        let mut intervals: Vec<(u64, u64)> = complete
+            .iter()
+            .filter(|x| as_u64(field(x, "tid")) == tid)
+            .map(|x| {
+                let ts = as_u64(field(x, "ts"));
+                (ts, ts + as_u64(field(x, "dur")))
+            })
+            .collect();
+        // Sort outermost-first so a stack check works: by start, then by
+        // longer duration first.
+        intervals.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        for (start, end) in intervals {
+            while let Some(&(_, top_end)) = stack.last() {
+                if start >= top_end {
+                    stack.pop();
+                } else {
+                    assert!(end <= top_end, "partial overlap on tid {tid}");
+                    break;
+                }
+            }
+            stack.push((start, end));
+        }
+    }
+
+    std::fs::remove_dir_all(dir).ok();
+}

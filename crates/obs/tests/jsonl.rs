@@ -1,0 +1,104 @@
+//! JSON-lines sink: every emitted record lands in the file as one valid,
+//! schema-conforming JSON object per line, matching an in-memory capture
+//! of the same dispatch stream.
+
+use mica_obs::{add_sink, remove_sink, Attr, JsonLinesSink, Level, MemorySink};
+use serde::Value;
+
+/// Pin the environment before the first `mica-obs` call in this process:
+/// no stderr noise, no accidental file sinks inherited from the caller.
+fn init() {
+    std::env::set_var("MICA_LOG", "off");
+    std::env::remove_var("MICA_TRACE");
+    std::env::remove_var("MICA_EVENTS");
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    v.field(name).unwrap_or_else(|| panic!("field {name} missing in {v:?}"))
+}
+
+fn as_str(v: &Value) -> &str {
+    match v {
+        Value::String(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::Number(n) => n.as_u64().expect("non-negative integer"),
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn file_round_trips_the_dispatch_stream() {
+    init();
+    let dir = std::env::temp_dir().join("mica_obs_jsonl_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+
+    let mem = MemorySink::new();
+    let file_id = add_sink(Box::new(JsonLinesSink::create(path.clone()).unwrap()));
+    let mem_id = add_sink(Box::new(mem.clone()));
+
+    mica_obs::emit_with(
+        Level::Warn,
+        "jsonl::test",
+        "cache rejected".into(),
+        vec![("reason", Attr::Str("fingerprint".into())), ("expected", Attr::U64(42))],
+    );
+    mica_obs::info!("plain message with escapes: \"quoted\"\n");
+    {
+        let mut outer = mica_obs::span("jsonl-test", "outer");
+        outer.attr("k", 8u64);
+        let _inner = mica_obs::span("jsonl-test", "inner");
+    }
+
+    remove_sink(file_id);
+    remove_sink(mem_id);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str::<Value>(l).expect("every line is valid JSON"))
+        .collect();
+    assert_eq!(
+        lines.len(),
+        mem.records().len(),
+        "file carries exactly the records the capture sink saw"
+    );
+
+    let events: Vec<&Value> =
+        lines.iter().filter(|l| as_str(field(l, "t")) == "event").collect();
+    let spans: Vec<&Value> = lines.iter().filter(|l| as_str(field(l, "t")) == "span").collect();
+    assert_eq!(events.len(), 2);
+    assert_eq!(spans.len(), 2);
+
+    // The structured warn event survives with level, target, message and
+    // typed attributes intact.
+    let warn = events[0];
+    assert_eq!(as_str(field(warn, "level")), "warn");
+    assert_eq!(as_str(field(warn, "target")), "jsonl::test");
+    assert_eq!(as_str(field(warn, "msg")), "cache rejected");
+    let attrs = field(warn, "attrs");
+    assert_eq!(as_str(field(attrs, "reason")), "fingerprint");
+    assert_eq!(as_u64(field(attrs, "expected")), 42);
+
+    // Escapes round-trip through the hand-rolled writer.
+    assert_eq!(as_str(field(events[1], "msg")), "plain message with escapes: \"quoted\"\n");
+
+    // Spans close inner-first, carry depth/tid, and nest by timestamps.
+    assert_eq!(as_str(field(spans[0], "name")), "inner");
+    assert_eq!(as_str(field(spans[1], "name")), "outer");
+    assert_eq!(as_str(field(spans[1], "cat")), "jsonl-test");
+    assert_eq!(as_u64(field(spans[0], "depth")), as_u64(field(spans[1], "depth")) + 1);
+    assert_eq!(as_u64(field(spans[0], "tid")), as_u64(field(spans[1], "tid")));
+    let inner_end = as_u64(field(spans[0], "ts_us")) + as_u64(field(spans[0], "dur_us"));
+    let outer_end = as_u64(field(spans[1], "ts_us")) + as_u64(field(spans[1], "dur_us"));
+    assert!(as_u64(field(spans[0], "ts_us")) >= as_u64(field(spans[1], "ts_us")));
+    assert!(inner_end <= outer_end);
+    assert_eq!(as_u64(field(field(spans[1], "attrs"), "k")), 8);
+
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -17,11 +17,35 @@
 //! variable when set, else the machine's available parallelism. With one
 //! thread every entry point degenerates to an inline serial loop with zero
 //! thread overhead.
+//!
+//! The pool is instrumented with `mica-obs`: each `par_map` call opens a
+//! `par`-category span on the calling thread, each claimed chunk opens a
+//! child span on its worker (workers register logical thread ids via
+//! [`mica_obs::set_worker`], so Chrome traces show one lane per worker),
+//! and the `par.pools` / `par.tasks` / `par.chunks` / `par.steals`
+//! counters plus the `par.chunk_us` histogram feed run summaries. None of
+//! this touches the data path: results are bit-identical with tracing on,
+//! off, or absent.
 
+use mica_obs as obs;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
+
+/// Pool invocations that actually spawned workers (serial fallbacks not
+/// counted).
+static POOLS: obs::Counter = obs::Counter::new("par.pools");
+/// Items mapped, across both the parallel and serial paths.
+static TASKS: obs::Counter = obs::Counter::new("par.tasks");
+/// Chunks of indices claimed from the shared counter.
+static CHUNKS: obs::Counter = obs::Counter::new("par.chunks");
+/// Chunks a worker claimed beyond its first — the work it "stole" from the
+/// static share a fixed partition would have given it.
+static STEALS: obs::Counter = obs::Counter::new("par.steals");
+/// Wall time per claimed chunk, microseconds.
+static CHUNK_US: obs::Histogram = obs::Histogram::new("par.chunk_us");
 
 /// Upper bound on indices claimed at once; keeps the tail of the schedule
 /// fine-grained enough to balance uneven item costs (benchmark budgets vary
@@ -69,9 +93,14 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = num_threads().min(n.max(1));
+    TASKS.add(n as u64);
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    POOLS.incr();
+    let mut pool_span = obs::span("par", "par_map");
+    pool_span.attr("items", n as u64);
+    pool_span.attr("threads", threads as u64);
 
     // Aim for several chunks per worker so uneven item costs rebalance.
     let chunk = (n / (threads * 4)).clamp(1, MAX_CHUNK);
@@ -79,20 +108,36 @@ where
     let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit()))).collect();
 
     thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
+        let next = &next;
+        let slots = &slots;
+        let f = &f;
+        for w in 0..threads {
+            scope.spawn(move || {
+                obs::set_worker(w);
+                let mut claimed = 0u64;
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    claimed += 1;
+                    let end = (start + chunk).min(n);
+                    let began = Instant::now();
+                    let mut chunk_span = obs::span("par", "chunk");
+                    chunk_span.attr("start", start as u64);
+                    chunk_span.attr("len", (end - start) as u64);
+                    for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+                        let value = f(i);
+                        // SAFETY: index i was claimed exactly once (fetch_add
+                        // hands out disjoint ranges), so this slot is written by
+                        // this thread only.
+                        unsafe { (*slot.0.get()).write(value) };
+                    }
+                    drop(chunk_span);
+                    CHUNK_US.record(began.elapsed().as_micros() as u64);
                 }
-                let end = (start + chunk).min(n);
-                for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
-                    let value = f(i);
-                    // SAFETY: index i was claimed exactly once (fetch_add
-                    // hands out disjoint ranges), so this slot is written by
-                    // this thread only.
-                    unsafe { (*slot.0.get()).write(value) };
-                }
+                CHUNKS.add(claimed);
+                STEALS.add(claimed.saturating_sub(1));
             });
         }
     });

@@ -9,8 +9,12 @@
 use crate::dataset::DataSet;
 use crate::distance::{pairwise_distances, pearson};
 use crate::zscore_normalize;
+use mica_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// GA generations evaluated, across all selector runs in the process.
+static GENERATIONS: obs::Counter = obs::Counter::new("ga.generations");
 
 /// Hyperparameters of the genetic algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,6 +240,9 @@ impl GeneticSelector {
 
     fn run_impl(&self, parallel: bool) -> GaResult {
         let cfg = self.config;
+        let mut run_span = obs::span("ga", "ga_run");
+        run_span.attr("population", cfg.population as u64);
+        run_span.attr("metrics", self.num_cols as u64);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let seeds: Vec<u64> =
             (0..cfg.population.max(2)).map(|_| self.random_genome(&mut rng)).collect();
@@ -248,6 +255,9 @@ impl GeneticSelector {
         let mut gens = 0;
         for _ in 0..cfg.generations {
             gens += 1;
+            GENERATIONS.incr();
+            let mut gen_span = obs::span("ga", "generation");
+            gen_span.attr("gen", gens as u64);
             let elites = cfg.elitism.min(pop.len());
             let mut children = Vec::with_capacity(pop.len() - elites);
             while elites + children.len() < pop.len() {
@@ -272,6 +282,7 @@ impl GeneticSelector {
             next.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             pop = next;
             history.push(pop[0].1);
+            gen_span.attr("best_fitness", pop[0].1);
             if pop[0].1 > best.1 + 1e-12 {
                 best = pop[0];
                 stagnant = 0;
@@ -284,6 +295,9 @@ impl GeneticSelector {
         }
 
         let selected: Vec<usize> = (0..self.num_cols).filter(|&c| best.0 >> c & 1 == 1).collect();
+        run_span.attr("generations", gens as u64);
+        run_span.attr("fitness", best.1);
+        obs::debug!("ga converged after {gens} generations (fitness {:.4})", best.1);
         GaResult {
             rho: self.rho(best.0),
             selected,

@@ -1,8 +1,12 @@
 //! k-means clustering with BIC-based model selection (Section VI).
 
 use crate::dataset::DataSet;
+use mica_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Lloyd iterations executed, across all k-means runs in the process.
+static ITERATIONS: obs::Counter = obs::Counter::new("kmeans.iterations");
 
 /// Result of one k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +86,9 @@ fn bic_score(ds: &DataSet, labels: &[usize], centroids: &[Vec<f64>], sse: f64) -
 pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
     assert!(k >= 1, "k must be positive");
     assert!(k <= ds.rows(), "cannot have more clusters than points");
+    let mut run_span = obs::span("kmeans", "kmeans");
+    run_span.attr("k", k as u64);
+    run_span.attr("rows", ds.rows() as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let n = ds.rows();
 
@@ -115,8 +122,15 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
 
     // Lloyd iterations.
     let mut labels = vec![0usize; n];
-    for _ in 0..100 {
-        let mut changed = false;
+    let mut iterations = 0u64;
+    for iter in 0..100 {
+        iterations += 1;
+        ITERATIONS.incr();
+        let mut iter_span = obs::span("kmeans", "lloyd_iter");
+        iter_span.attr("iter", iter as u64);
+        // Count (rather than flag) reassignments so the span can report how
+        // much the clustering moved this iteration.
+        let mut changed = 0usize;
         for (i, label) in labels.iter_mut().enumerate() {
             let (best, _) = centroids
                 .iter()
@@ -126,7 +140,7 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
                 .expect("k >= 1");
             if *label != best {
                 *label = best;
-                changed = true;
+                changed += 1;
             }
         }
         let mut sums = vec![vec![0.0; ds.cols()]; k];
@@ -152,16 +166,20 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
                     })
                     .expect("n >= 1");
                 centroids[j] = ds.row(far).to_vec();
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed {
+        iter_span.attr("changed", changed as u64);
+        if changed == 0 {
             break;
         }
     }
 
     let sse: f64 = (0..n).map(|i| sq_dist(ds.row(i), &centroids[labels[i]])).sum();
     let bic = bic_score(ds, &labels, &centroids, sse);
+    run_span.attr("iterations", iterations);
+    run_span.attr("sse", sse);
+    run_span.attr("bic", bic);
     KMeansResult { labels, centroids, sse, bic }
 }
 
@@ -173,13 +191,19 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
 /// Returns the chosen clustering; `k_max` is clamped to the number of rows.
 pub fn choose_k_by_bic(ds: &DataSet, k_max: usize, seed: u64) -> KMeansResult {
     let k_max = k_max.min(ds.rows()).max(1);
+    let mut span = obs::span("kmeans", "choose_k_by_bic");
+    span.attr("k_max", k_max as u64);
     let runs: Vec<KMeansResult> = (1..=k_max).map(|k| kmeans(ds, k, seed ^ k as u64)).collect();
     let max = runs.iter().map(|r| r.bic).fold(f64::NEG_INFINITY, f64::max);
     let min = runs.iter().map(|r| r.bic).fold(f64::INFINITY, f64::min);
     let threshold = if (max - min).abs() < 1e-12 { max } else { min + 0.9 * (max - min) };
-    runs.into_iter()
+    let chosen = runs
+        .into_iter()
         .find(|r| r.bic >= threshold)
-        .expect("at least the max-BIC run passes the threshold")
+        .expect("at least the max-BIC run passes the threshold");
+    span.attr("k", chosen.k() as u64);
+    obs::debug!("BIC selected k={} of {k_max} (threshold {threshold:.2})", chosen.k());
+    chosen
 }
 
 #[cfg(test)]

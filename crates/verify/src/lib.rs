@@ -47,8 +47,14 @@ mod dataflow;
 pub use cfg::{Block, Cfg};
 pub use dataflow::{const_accesses, may_uninit_reads, Const, ConstAccess, RegSet, UninitRead};
 
+use mica_obs as obs;
 use std::fmt;
 use tinyisa::{disassemble_op, Flow, Op, Program, RegRef, INST_BYTES};
+
+/// Programs verified, across the process.
+static PROGRAMS: obs::Counter = obs::Counter::new("verify.programs");
+/// Findings produced (errors and warnings together).
+static FINDINGS: obs::Counter = obs::Counter::new("verify.findings");
 
 /// How bad a finding is. `Error` findings are behavioral defects (the
 /// characterization of the program is not what the kernel author intended);
@@ -253,12 +259,19 @@ fn reg_name(r: RegRef) -> String {
 
 /// Run every check against `prog` and collect the findings.
 pub fn verify(prog: &Program, config: &VerifyConfig) -> Report {
-    let cfg = Cfg::build(prog);
+    let cfg = {
+        let _span = obs::span("verify", "cfg_build");
+        Cfg::build(prog)
+    };
     verify_with_cfg(prog, &cfg, config)
 }
 
 /// Like [`verify`], reusing an already-built CFG.
 pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Report {
+    PROGRAMS.incr();
+    let mut run_span = obs::span("verify", "verify");
+    run_span.attr("insts", prog.insts().len() as u64);
+    run_span.attr("blocks", cfg.blocks().len() as u64);
     let insts = prog.insts();
     let mut findings = Vec::new();
     let push = |findings: &mut Vec<Finding>, lint: Lint, idx: usize, message: String| {
@@ -273,6 +286,7 @@ pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Repo
     };
 
     // --- (a) reachability ---
+    let reach_span = obs::span("verify", "reachability");
     for (bi, b) in cfg.blocks().iter().enumerate() {
         if !cfg.is_reachable(bi) {
             push(
@@ -299,7 +313,10 @@ pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Repo
         );
     }
 
+    drop(reach_span);
+
     // --- (b) may-uninitialized register reads ---
+    let dataflow_span = obs::span("verify", "dataflow");
     let mut entry = RegSet::EMPTY;
     entry.insert(RegRef::Int(0));
     for r in &config.entry_regs {
@@ -320,7 +337,10 @@ pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Repo
         }
     }
 
+    drop(dataflow_span);
+
     // --- (c) constant-address memory lints ---
+    let memory_span = obs::span("verify", "memory");
     let text_start = prog.base();
     let text_end = prog.base() + insts.len() as u64 * INST_BYTES;
     for acc in const_accesses(prog, cfg) {
@@ -363,7 +383,10 @@ pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Repo
         }
     }
 
+    drop(memory_span);
+
     // --- (d) structural lints ---
+    let structural_span = obs::span("verify", "structural");
     for (idx, op) in insts.iter().enumerate() {
         if let Some(t) = op.flow().direct_target() {
             if t >= insts.len() {
@@ -433,7 +456,11 @@ pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Repo
         }
     }
 
+    drop(structural_span);
+
     findings.sort_by_key(|f| (f.idx, f.severity != Severity::Error, f.lint.name()));
+    FINDINGS.add(findings.len() as u64);
+    run_span.attr("findings", findings.len() as u64);
     Report { findings }
 }
 
