@@ -43,7 +43,7 @@ fn bench_parallel(c: &mut Criterion) {
         b.iter(|| black_box(profile_all_serial(1e-9).expect("profiles").records.len()))
     });
     g.bench_function("parallel", |b| {
-        b.iter(|| black_box(profile_all(1e-9).expect("profiles").records.len()))
+        b.iter(|| black_box(profile_all(1e-9).expect("profiles").set.records.len()))
     });
     g.finish();
 

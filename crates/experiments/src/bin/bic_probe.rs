@@ -9,9 +9,12 @@ use mica_stats::{kmeans, select_features_k, zscore_normalize, GaConfig};
 
 fn main() {
     let mut run = Runner::new("bic_probe");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .unwrap();
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let mica = mica_dataset(&set);
     let ga = run.stage("ga", || select_features_k(&mica, 8, GaConfig::default()));
     let z = zscore_normalize(&mica).select_columns(&ga.selected);

@@ -10,9 +10,12 @@ use mica_stats::{pearson, plot};
 
 fn main() {
     let mut run = Runner::new("fig1");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let (mica, hpc) = run.stage("distances", || workload_distances(&set));
 
     let r = pearson(mica.values(), hpc.values());

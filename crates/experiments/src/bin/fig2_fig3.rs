@@ -14,17 +14,26 @@ use uarch_sim::HPC_EXTENDED_NAMES;
 
 fn main() {
     let mut run = Runner::new("fig2_fig3");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
 
-    let bzip2_idx = set
-        .records
-        .iter()
-        .position(|r| r.program == "bzip2" && r.input == "graphic")
-        .expect("bzip2/graphic present");
-    let blast_idx =
-        set.records.iter().position(|r| r.program == "blast").expect("blast present");
+    // The case study needs two specific benchmarks; if either was
+    // quarantined this run, skip the study instead of crashing.
+    let bzip2_idx =
+        set.records.iter().position(|r| r.program == "bzip2" && r.input == "graphic");
+    let blast_idx = set.records.iter().position(|r| r.program == "blast");
+    let (Some(bzip2_idx), Some(blast_idx)) = (bzip2_idx, blast_idx) else {
+        println!(
+            "fig2_fig3: bzip2/graphic or blast missing from this run (quarantined?); \
+             skipping the case study"
+        );
+        run.finish();
+        return;
+    };
 
     // --- Figure 2: HPC characterization (instruction mix + counters) ---
     let hpc_dist2 = run.stage("fig2", || {

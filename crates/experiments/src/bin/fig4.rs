@@ -18,9 +18,12 @@ fn reduced_distances(z: &DataSet, keep: &[usize]) -> Vec<f64> {
 
 fn main() {
     let mut run = Runner::new("fig4");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let mica = mica_dataset(&set);
     let z = zscore_normalize(&mica);
     let hpc = pairwise_distances(&zscore_normalize(&hpc_dataset(&set)));

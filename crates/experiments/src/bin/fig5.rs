@@ -14,9 +14,12 @@ use mica_stats::{
 
 fn main() {
     let mut run = Runner::new("fig5");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let mica = mica_dataset(&set);
     let z = zscore_normalize(&mica);
     let full = pairwise_distances(&z);

@@ -14,9 +14,12 @@ use mica_stats::{
 
 fn main() {
     let mut run = Runner::new("fig6");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let mica = mica_dataset(&set);
 
     let ga = run.stage("ga", || select_features_k(&mica, 8, GaConfig::default()));

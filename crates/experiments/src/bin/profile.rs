@@ -6,11 +6,14 @@ use mica_experiments::{profile::profile_all, results_dir, scale};
 
 fn main() {
     let mut run = Runner::new("profile");
-    let set = run.stage("profile", || profile_all(scale())).unwrap_or_else(|e| {
+    let outcome = run.stage("profile", || profile_all(scale())).unwrap_or_else(|e| {
         mica_obs::error!("profiling failed: {e}");
         mica_obs::flush();
         std::process::exit(1);
     });
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let path = results_dir().join("profiles.json");
     run.stage("save", || set.save(&path)).unwrap_or_else(|e| {
         mica_obs::error!("cannot write {}: {e}", path.display());

@@ -16,9 +16,12 @@ use std::fmt::Write as _;
 
 fn main() {
     let mut run = Runner::new("report");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let mica = mica_dataset(&set);
     let z = zscore_normalize(&mica);
     let (dm, dh) = run.stage("distances", || workload_distances(&set));

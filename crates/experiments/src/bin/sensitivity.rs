@@ -9,6 +9,7 @@
 //! conclusions taken based on this characterization may not be generalized
 //! to other microarchitectures." — Section IV.
 
+use mica_experiments::profile::Quarantine;
 use mica_experiments::results::write_csv;
 use mica_experiments::runner::Runner;
 use mica_experiments::{results_dir, scale};
@@ -58,23 +59,70 @@ impl TraceSink for Both {
     }
 }
 
+/// Run one kernel on both machine pairs, converting panics and errors
+/// into a quarantine reason instead of killing the sweep.
+fn run_both(
+    spec: &mica_workloads::BenchmarkSpec,
+    budget: u64,
+) -> Result<(Vec<f64>, Vec<f64>), String> {
+    if mica_fault::plan::should_panic_kernel(spec.program)
+        || mica_fault::plan::should_panic_kernel(&spec.name())
+    {
+        return Err(format!("injected fault: kernel {} (MICA_FAULTS)", spec.name()));
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<_, String> {
+        let mut vm = spec.build_vm().map_err(|e| format!("kernel failed to assemble: {e}"))?;
+        let mut both = Both { alpha: HpcSimulator::new(), modern: modern_pair() };
+        vm.run(&mut both, budget).map_err(|e| format!("kernel faulted: {e}"))?;
+        Ok((both.alpha.finish().counter_vector(), both.modern.finish().counter_vector()))
+    }))
+    .unwrap_or_else(|payload| {
+        let text = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(format!("panic: {text}"))
+    })
+}
+
 fn main() {
     let mut run = Runner::new("sensitivity");
     let table = benchmark_table();
-    let (alpha_rows, modern_rows) = run.stage("profile", || {
+    let (alpha_rows, modern_rows, quarantined) = run.stage("profile", || {
         let mut alpha_rows = Vec::with_capacity(table.len());
         let mut modern_rows = Vec::with_capacity(table.len());
+        let mut quarantined = Vec::new();
         for (i, spec) in table.iter().enumerate() {
             let budget = ((spec.instruction_budget() as f64) * scale()).max(10_000.0) as u64;
             mica_obs::info!("[{:3}/{}] {}", i + 1, table.len(), spec.name());
-            let mut vm = spec.build_vm().expect("kernel builds");
-            let mut both = Both { alpha: HpcSimulator::new(), modern: modern_pair() };
-            vm.run(&mut both, budget).expect("kernel runs");
-            alpha_rows.push(both.alpha.finish().counter_vector());
-            modern_rows.push(both.modern.finish().counter_vector());
+            match run_both(spec, budget) {
+                Ok((a, m)) => {
+                    alpha_rows.push(a);
+                    modern_rows.push(m);
+                }
+                Err(reason) => quarantined.push(Quarantine { name: spec.name(), reason }),
+            }
         }
-        (alpha_rows, modern_rows)
+        (alpha_rows, modern_rows, quarantined)
     });
+    if !quarantined.is_empty() {
+        println!(
+            "QUARANTINED (n={}): continuing on {} of {} benchmarks",
+            quarantined.len(),
+            alpha_rows.len(),
+            table.len()
+        );
+        for q in &quarantined {
+            println!("  {}: {}", q.name, q.reason);
+        }
+    }
+    run.quarantine(&quarantined);
+    if alpha_rows.len() < 2 {
+        println!("sensitivity: fewer than two benchmarks survived; nothing to compare");
+        run.finish();
+        return;
+    }
 
     let (d_alpha, d_modern) = run.stage("distances", || {
         (

@@ -7,9 +7,12 @@ use mica_experiments::{profile::load_or_profile_all, results_dir, scale};
 
 fn main() {
     let mut run = Runner::new("table1");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
 
     println!("Table I — benchmarks, inputs and dynamic instruction counts");
     println!(

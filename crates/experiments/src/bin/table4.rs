@@ -23,9 +23,12 @@ const PAPER_TABLE_IV: [&str; 8] = [
 
 fn main() {
     let mut run = Runner::new("table4");
-    let set =
+    let outcome =
         run.stage("profiles", || load_or_profile_all(&results_dir().join("profiles.json"), scale()))
             .expect("profiling succeeds");
+    outcome.announce();
+    run.quarantine(&outcome.quarantined);
+    let set = outcome.set;
     let mica = mica_dataset(&set);
 
     let free = run.stage("ga_free", || select_features(&mica, GaConfig::default()));

@@ -11,7 +11,18 @@
 //!
 //! - `MICA_SCALE` — float multiplier on every benchmark's instruction
 //!   budget (default 1.0);
-//! - `MICA_RESULTS_DIR` — output directory (default `results`).
+//! - `MICA_RESULTS_DIR` — output directory (default `results`);
+//! - `MICA_FAULTS` — deterministic fault injection (see [`mica_fault`]):
+//!   `panic:kernel=NAME` panics that kernel's profiling run (it is
+//!   quarantined and the other 121 benchmarks complete),
+//!   `io:SITE[@N]`/`torn:SITE[@N]` fail or tear the first N artifact
+//!   writes at a named site;
+//! - `MICA_RETRIES` — extra attempts for failed artifact writes
+//!   (default 3, fixed 1/2/4/… ms backoff).
+//!
+//! All artifacts (profile cache, CSVs, SVGs, run summaries) are written
+//! atomically — temp file then rename — so a crash mid-write never leaves
+//! a torn file.
 //!
 //! Observability (`MICA_LOG`, `MICA_TRACE`, `MICA_EVENTS`) is provided by
 //! [`mica_obs`]; every binary drives a [`runner::Runner`] that times its

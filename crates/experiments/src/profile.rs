@@ -1,9 +1,17 @@
 //! Profiling: run benchmarks through both characterizations.
+//!
+//! The parallel entry points run with **panic isolation and quarantine**:
+//! a benchmark whose kernel panics (or returns a [`ProfileError`]) is
+//! recorded in [`ProfileOutcome::quarantined`] while the remaining 121
+//! benchmarks complete, so one bad kernel degrades a run instead of
+//! killing it. [`profile_all_serial`] keeps the old abort-on-first-error
+//! semantics as the reference implementation.
 
 use crate::results::{BenchRecord, ProfileSet};
 use mica_core::{CharacterizationSuite, MicaVector, NUM_METRICS};
 use mica_obs as obs;
 use mica_workloads::{benchmark_table, table_fingerprint, BenchmarkSpec};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 use tinyisa::{AsmError, DynInst, TraceSink, VmError};
@@ -22,6 +30,8 @@ static CACHE_MISS_PARSE: obs::Counter = obs::Counter::new("profile.cache.miss.pa
 static CACHE_MISS_SCALE: obs::Counter = obs::Counter::new("profile.cache.miss.scale");
 static CACHE_MISS_FINGERPRINT: obs::Counter = obs::Counter::new("profile.cache.miss.fingerprint");
 static CACHE_MISS_SIZE: obs::Counter = obs::Counter::new("profile.cache.miss.size");
+/// Benchmarks quarantined (panicked or errored) instead of profiled.
+static QUARANTINED: obs::Counter = obs::Counter::new("profile.quarantined");
 
 /// Register every profiling counter so run summaries list them (at zero)
 /// even on paths that never touch the cache or the profiler.
@@ -36,6 +46,7 @@ pub fn register_counters() {
         &CACHE_MISS_SCALE,
         &CACHE_MISS_FINGERPRINT,
         &CACHE_MISS_SIZE,
+        &QUARANTINED,
     ] {
         c.register();
     }
@@ -188,20 +199,110 @@ fn finish_set(
     Ok(ProfileSet { scale, fingerprint: profile_fingerprint(), records })
 }
 
+/// One benchmark removed from a run: it panicked or returned a
+/// [`ProfileError`], and the pipeline continued on the survivors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quarantine {
+    /// Full `suite/program/input` name of the benchmark.
+    pub name: String,
+    /// What happened, rendered as text.
+    pub reason: String,
+}
+
+/// What [`profile_all`] produced: the surviving records plus the
+/// quarantine list. Downstream stages run on [`set`](Self::set); every
+/// table and figure annotates its output with the quarantine via
+/// [`announce`](Self::announce), and the run summary records the list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOutcome {
+    /// Profiles of the benchmarks that completed, in Table I order.
+    pub set: ProfileSet,
+    /// Benchmarks removed from the run, in Table I order.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl ProfileOutcome {
+    /// An outcome with nothing quarantined (cache hits).
+    pub fn clean(set: ProfileSet) -> ProfileOutcome {
+        ProfileOutcome { set, quarantined: Vec::new() }
+    }
+
+    /// Print the `QUARANTINED (n=..)` annotation on stdout (and a warn
+    /// event per entry). Prints nothing when the run was clean, so
+    /// fault-free output is unchanged.
+    pub fn announce(&self) {
+        if self.quarantined.is_empty() {
+            return;
+        }
+        println!(
+            "QUARANTINED (n={}): continuing on {} of {} benchmarks",
+            self.quarantined.len(),
+            self.set.records.len(),
+            self.set.records.len() + self.quarantined.len()
+        );
+        for q in &self.quarantined {
+            println!("  {}: {}", q.name, q.reason);
+            obs::warn!("quarantined {}: {}", q.name, q.reason);
+        }
+    }
+}
+
+/// Consult the fault plan for this benchmark; matches both the bare
+/// program name and the full `suite/program/input` name (short-circuited,
+/// so one match is counted once).
+fn inject_kernel_panic(spec: &BenchmarkSpec) {
+    if mica_fault::plan::should_panic_kernel(spec.program)
+        || mica_fault::plan::should_panic_kernel(&spec.name())
+    {
+        panic!("injected fault: kernel {} (MICA_FAULTS)", spec.name());
+    }
+}
+
+/// Fold per-item results into surviving records plus the quarantine list,
+/// both in Table I order (so the report is scheduling-independent).
+fn finish_outcome(
+    scale: f64,
+    table: &[BenchmarkSpec],
+    results: Vec<Result<Result<BenchRecord, ProfileError>, mica_par::ItemPanic>>,
+) -> ProfileOutcome {
+    let mut records = Vec::with_capacity(results.len());
+    let mut quarantined = Vec::new();
+    for (spec, result) in table.iter().zip(results) {
+        match result {
+            Ok(Ok(rec)) => records.push(rec),
+            Ok(Err(e)) => {
+                quarantined.push(Quarantine { name: spec.name(), reason: e.to_string() });
+            }
+            Err(p) => {
+                quarantined
+                    .push(Quarantine { name: spec.name(), reason: format!("panic: {}", p.payload) });
+            }
+        }
+    }
+    QUARANTINED.add(quarantined.len() as u64);
+    ProfileOutcome {
+        set: ProfileSet { scale, fingerprint: profile_fingerprint(), records },
+        quarantined,
+    }
+}
+
 /// Profile all 122 benchmarks at budget multiplier `scale` on the
 /// [`mica_par`] worker pool, logging progress to stderr.
 ///
 /// Results are merged in Table I order and each benchmark's simulation is
-/// self-contained (seeded VM, no shared state), so the output is
-/// bit-identical to [`profile_all_serial`] for any thread count.
+/// self-contained (seeded VM, no shared state), so on a clean run the
+/// returned [`ProfileOutcome::set`] is bit-identical to
+/// [`profile_all_serial`] for any thread count.
+///
+/// Each benchmark runs under panic isolation
+/// ([`mica_par::par_map_isolated`]): a kernel that panics or returns a
+/// [`ProfileError`] is quarantined and the rest of the table completes.
 ///
 /// # Errors
 ///
-/// [`ProfileError::InvalidScale`] for a non-finite or non-positive scale;
-/// otherwise fails on the first benchmark (in table order) that cannot be
-/// profiled — all are expected to succeed, so failure indicates a kernel
-/// bug.
-pub fn profile_all(scale: f64) -> Result<ProfileSet, ProfileError> {
+/// [`ProfileError::InvalidScale`] for a non-finite or non-positive scale —
+/// the only error that aborts the run; per-benchmark failures quarantine.
+pub fn profile_all(scale: f64) -> Result<ProfileOutcome, ProfileError> {
     validate_scale(scale)?;
     let table = benchmark_table();
     let total = table.len();
@@ -209,14 +310,15 @@ pub fn profile_all(scale: f64) -> Result<ProfileSet, ProfileError> {
     all_span.attr("benchmarks", total as u64);
     all_span.attr("scale", scale);
     let progress = mica_par::Progress::new();
-    let results = mica_par::par_map(&table, |spec| {
+    let results = mica_par::par_map_isolated(&table, |spec| {
+        inject_kernel_panic(spec);
         let budget = scaled_budget(spec, scale);
         let rec = run_one(spec, budget);
         let done = progress.tick();
         obs::info!("[{done:3}/{total}] {} ({budget} insts)", spec.name());
         rec
     });
-    finish_set(scale, results)
+    Ok(finish_outcome(scale, &table, results))
 }
 
 /// Profile one benchmark under a per-kernel span (the span lands on the
@@ -369,19 +471,24 @@ pub fn check_cache(path: &Path, scale: f64) -> Result<ProfileSet, CacheMiss> {
 /// and carry the current [`profile_fingerprint`]; otherwise profile
 /// everything and cache the result.
 ///
+/// A cache hit is by construction complete, so its outcome has an empty
+/// quarantine. A re-profile with quarantined benchmarks still writes its
+/// (partial) cache — [`check_cache`] rejects it on the next run via
+/// [`CacheMiss::Size`], so a later fault-free run re-profiles everything.
+///
 /// # Errors
 ///
 /// Propagates profiling errors; any cache problem (see [`CacheMiss`]) is
 /// reported as a structured warn event and falls back to re-profiling,
 /// and a failure to *write* the cache is warned about but does not fail
 /// the run.
-pub fn load_or_profile_all(path: &Path, scale: f64) -> Result<ProfileSet, ProfileError> {
+pub fn load_or_profile_all(path: &Path, scale: f64) -> Result<ProfileOutcome, ProfileError> {
     validate_scale(scale)?;
     match check_cache(path, scale) {
         Ok(set) => {
             CACHE_HIT.incr();
             obs::info!("loaded {} cached profiles from {}", set.records.len(), path.display());
-            return Ok(set);
+            return Ok(ProfileOutcome::clean(set));
         }
         Err(miss) => {
             miss.counter().incr();
@@ -393,11 +500,11 @@ pub fn load_or_profile_all(path: &Path, scale: f64) -> Result<ProfileSet, Profil
             );
         }
     }
-    let set = profile_all(scale)?;
-    if let Err(e) = set.save(path) {
+    let outcome = profile_all(scale)?;
+    if let Err(e) = outcome.set.save(path) {
         obs::warn!("could not write profile cache {}: {e}", path.display());
     }
-    Ok(set)
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -468,7 +575,8 @@ mod tests {
         };
         fake.save(&path).unwrap();
         let loaded = load_or_profile_all(&path, 0.25).unwrap();
-        assert_eq!(loaded, fake);
+        assert_eq!(loaded.set, fake);
+        assert!(loaded.quarantined.is_empty(), "cache hits quarantine nothing");
         std::fs::remove_dir_all(dir).ok();
     }
 

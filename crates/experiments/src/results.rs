@@ -44,18 +44,17 @@ pub struct ProfileSet {
 }
 
 impl ProfileSet {
-    /// Save as pretty JSON.
+    /// Save as JSON, atomically (temp-then-rename with bounded retry, site
+    /// `cache-write`) — a crash mid-save leaves the previous cache intact
+    /// instead of a torn file that would poison the next run.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors; serialization of these types cannot
-    /// fail.
+    /// Propagates filesystem errors once the retry budget is exhausted;
+    /// serialization of these types cannot fail.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
         let json = serde_json::to_string(self).expect("ProfileSet serializes");
-        fs::write(path, json)
+        mica_fault::io::atomic_write_retry("cache-write", path, json.as_bytes())
     }
 
     /// Load from JSON.
@@ -74,15 +73,13 @@ impl ProfileSet {
     }
 }
 
-/// Write a CSV file (header + rows) under the results directory.
+/// Write a CSV file (header + rows) under the results directory,
+/// atomically with bounded retry (site `results`).
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Propagates filesystem errors once the retry budget is exhausted.
 pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
     let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
     out.push_str(header);
     out.push('\n');
@@ -90,19 +87,17 @@ pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> io::Result<()> {
         out.push_str(r);
         out.push('\n');
     }
-    fs::write(path, out)
+    mica_fault::io::atomic_write_retry("results", path, out.as_bytes())
 }
 
-/// Write a text artifact (e.g. an SVG) under the results directory.
+/// Write a text artifact (e.g. an SVG) under the results directory,
+/// atomically with bounded retry (site `results`).
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Propagates filesystem errors once the retry budget is exhausted.
 pub fn write_text(path: &Path, content: &str) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    fs::write(path, content)
+    mica_fault::io::atomic_write_retry("results", path, content.as_bytes())
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! fingerprint — then flushes all sinks so `MICA_TRACE` files are complete
 //! even if the binary exits immediately afterwards.
 
+use crate::profile::Quarantine;
 use mica_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -48,6 +49,8 @@ pub struct RunSummary {
     pub stages: Vec<StageSummary>,
     /// Every registered counter, sorted by name.
     pub counters: Vec<CounterEntry>,
+    /// Benchmarks quarantined during this run (empty on a clean run).
+    pub quarantined: Vec<Quarantine>,
 }
 
 /// Stage-timing and run-report helper; one per binary invocation.
@@ -56,6 +59,7 @@ pub struct Runner {
     started: Instant,
     run_span: obs::Span,
     stages: Vec<StageSummary>,
+    quarantined: Vec<Quarantine>,
 }
 
 impl Runner {
@@ -70,7 +74,13 @@ impl Runner {
         run_span.attr("threads", threads as u64);
         run_span.attr("scale", scale);
         obs::info!("{bin}: starting ({threads} threads, scale {scale})");
-        Runner { bin, started: Instant::now(), run_span, stages: Vec::new() }
+        Runner { bin, started: Instant::now(), run_span, stages: Vec::new(), quarantined: Vec::new() }
+    }
+
+    /// Record benchmarks quarantined during this run, so the run summary
+    /// carries the list alongside the counters.
+    pub fn quarantine(&mut self, quarantined: &[Quarantine]) {
+        self.quarantined.extend_from_slice(quarantined);
     }
 
     /// Run `f` as the named stage: timed, wrapped in a `stage` span, and
@@ -90,7 +100,7 @@ impl Runner {
     /// written is warned about, never fatal — the run's real outputs are
     /// the tables and figures.
     pub fn finish(self) -> RunSummary {
-        let Runner { bin, started, mut run_span, stages } = self;
+        let Runner { bin, started, mut run_span, stages, quarantined } = self;
         let summary = RunSummary {
             bin: bin.to_string(),
             scale: crate::scale(),
@@ -102,13 +112,12 @@ impl Runner {
                 .into_iter()
                 .map(|(name, value)| CounterEntry { name, value })
                 .collect(),
+            quarantined,
         };
         let path = crate::results_dir().join(format!("run-{bin}.json"));
         let json = serde_json::to_string_pretty(&summary).expect("RunSummary serializes");
-        let written = path
-            .parent()
-            .map_or(Ok(()), std::fs::create_dir_all)
-            .and_then(|()| std::fs::write(&path, json));
+        let written =
+            mica_fault::io::atomic_write_retry("run-summary", &path, json.as_bytes());
         match written {
             Ok(()) => obs::info!(
                 "{bin}: done in {:.3}s; run summary at {}",

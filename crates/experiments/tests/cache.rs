@@ -116,6 +116,63 @@ fn hit_and_miss_feed_the_cache_counters() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// Corrupt caches — the artifacts a crash mid-write would leave behind if
+/// writes were not atomic — must be rejected with `CacheMiss::Parse`, and a
+/// re-profile must rewrite the cache in place through the atomic temp-file
+/// protocol (no `.profiles.json.tmp` survivor, old-or-new content only).
+#[test]
+fn corrupted_caches_reject_cleanly_and_rewrite_atomically() {
+    std::env::set_var("MICA_LOG", "off");
+    std::env::remove_var("MICA_TRACE");
+    std::env::remove_var("MICA_EVENTS");
+    let dir = std::env::temp_dir().join(format!("mica_cache_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profiles.json");
+    let snap = |name: &str| -> u64 {
+        mica_obs::counters().into_iter().find(|(n, _)| n == name).map(|(_, v)| v).unwrap_or(0)
+    };
+
+    // Truncated mid-JSON: the classic torn write.
+    let good = good_set(1e-9);
+    good.save(&path).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+    assert!(matches!(check_cache(&path, 1e-9).unwrap_err(), CacheMiss::Parse(_)));
+
+    // Zero-byte file: a crash after create but before any byte landed.
+    // `load_or_profile_all` must shrug it off, re-profile, and leave a
+    // well-formed cache behind with no temp file next to it.
+    std::fs::write(&path, b"").unwrap();
+    let parse_before = snap("profile.cache.miss.parse");
+    let outcome = mica_experiments::profile::load_or_profile_all(&path, 1e-9).unwrap();
+    assert!(outcome.quarantined.is_empty());
+    assert!(
+        snap("profile.cache.miss.parse") >= parse_before + 1,
+        "zero-byte cache counts as a parse miss"
+    );
+    assert!(!mica_fault::io::tmp_path(&path).exists(), "no temp file left after rewrite");
+    assert_eq!(check_cache(&path, 1e-9), Ok(outcome.set.clone()));
+
+    // Wrong fingerprint: a structurally valid cache from another table
+    // layout is rejected for the precise reason, then atomically replaced.
+    let mut stale = outcome.set.clone();
+    stale.fingerprint ^= 0xdead;
+    stale.save(&path).unwrap();
+    let fp_before = snap("profile.cache.miss.fingerprint");
+    let refreshed = mica_experiments::profile::load_or_profile_all(&path, 1e-9).unwrap();
+    assert_eq!(
+        snap("profile.cache.miss.fingerprint"),
+        fp_before + 1,
+        "stale fingerprint counts as a fingerprint miss"
+    );
+    assert!(!mica_fault::io::tmp_path(&path).exists(), "no temp file left after rewrite");
+    let reread = check_cache(&path, 1e-9).unwrap();
+    assert_eq!(reread.fingerprint, mica_experiments::profile::profile_fingerprint());
+    assert_eq!(reread, refreshed.set);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
 #[test]
 fn rejected_cache_emits_structured_warn() {
     let dir = init();

@@ -15,7 +15,9 @@ fn parallel_profile_all_is_byte_identical_to_serial() {
     // Tiny scale: every budget hits the 10 000-instruction floor, so the
     // full 122-benchmark sweep stays fast while still exercising every
     // kernel through both characterizations.
-    let par = profile_all(1e-9).expect("parallel profiling succeeds");
+    let outcome = profile_all(1e-9).expect("parallel profiling succeeds");
+    assert!(outcome.quarantined.is_empty(), "clean run quarantines nothing");
+    let par = outcome.set;
     let ser = profile_all_serial(1e-9).expect("serial profiling succeeds");
     assert_eq!(par.records.len(), 122);
     assert_eq!(par, ser, "parallel and serial profile sets must be equal");
@@ -36,7 +38,7 @@ fn tracing_does_not_change_results() {
     let trace_path = dir.join("trace.json");
     let events_path = dir.join("events.jsonl");
 
-    let quiet = profile_all(1e-9).expect("untraced profiling succeeds");
+    let quiet = profile_all(1e-9).expect("untraced profiling succeeds").set;
 
     // Sinks are installed programmatically (not via MICA_TRACE) because the
     // env-driven init already ran for this process.
@@ -44,7 +46,7 @@ fn tracing_does_not_change_results() {
     let events = mica_obs::add_sink(Box::new(
         mica_obs::JsonLinesSink::create(events_path.clone()).expect("events file opens"),
     ));
-    let traced = profile_all(1e-9).expect("traced profiling succeeds");
+    let traced = profile_all(1e-9).expect("traced profiling succeeds").set;
     mica_obs::flush();
     mica_obs::remove_sink(trace);
     mica_obs::remove_sink(events);
@@ -77,7 +79,7 @@ fn tracing_does_not_change_results() {
 fn profile_order_follows_table_order_not_completion_order() {
     std::env::set_var("MICA_THREADS", "4");
     std::env::set_var("MICA_QUIET", "1");
-    let set = profile_all(1e-9).expect("profiles");
+    let set = profile_all(1e-9).expect("profiles").set;
     let expected: Vec<String> =
         mica_workloads::benchmark_table().iter().map(|s| s.name()).collect();
     let got: Vec<String> = set.records.iter().map(|r| r.name.clone()).collect();

@@ -2,10 +2,16 @@
 //! through the serde layer and carry the stage timings and counters the CI
 //! dashboards key on.
 
+use mica_experiments::profile::Quarantine;
 use mica_experiments::runner::{Runner, RunSummary};
+
+/// Both tests point `MICA_RESULTS_DIR` at their own directory; serialize
+/// them so the process-global env var never flips mid-run.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[test]
 fn finish_writes_a_parseable_run_summary() {
+    let _guard = ENV_LOCK.lock().unwrap();
     let dir = std::env::temp_dir().join(format!("mica_runner_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     std::env::set_var("MICA_RESULTS_DIR", &dir);
@@ -52,6 +58,41 @@ fn finish_writes_a_parseable_run_summary() {
     let mut sorted = counter_names.clone();
     sorted.sort_unstable();
     assert_eq!(counter_names, sorted, "counters are sorted by name");
+
+    // A run that quarantined nothing reports an empty list.
+    assert!(parsed.quarantined.is_empty(), "clean run quarantines nothing");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn quarantine_list_round_trips_through_the_summary() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("mica_runner_quarantine_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("MICA_RESULTS_DIR", &dir);
+    std::env::set_var("MICA_LOG", "off");
+    std::env::remove_var("MICA_TRACE");
+    std::env::remove_var("MICA_EVENTS");
+
+    let mut run = Runner::new("qbin");
+    run.stage("noop", || ());
+    run.quarantine(&[
+        Quarantine {
+            name: "MiBench/CRC32/pcm".to_string(),
+            reason: "panic: injected fault: kernel CRC32 (MICA_FAULTS)".to_string(),
+        },
+        Quarantine { name: "SPEC2000/bzip2/graphic".to_string(), reason: "io error".to_string() },
+    ]);
+    let returned = run.finish();
+
+    let text = std::fs::read_to_string(dir.join("run-qbin.json")).expect("run summary exists");
+    let parsed: RunSummary = serde_json::from_str(&text).expect("summary parses");
+    assert_eq!(parsed, returned);
+    assert_eq!(parsed.quarantined.len(), 2);
+    assert_eq!(parsed.quarantined[0].name, "MiBench/CRC32/pcm");
+    assert!(parsed.quarantined[0].reason.contains("MICA_FAULTS"));
+    assert_eq!(parsed.quarantined[1].name, "SPEC2000/bzip2/graphic");
 
     std::fs::remove_dir_all(dir).ok();
 }

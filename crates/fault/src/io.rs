@@ -1,0 +1,262 @@
+//! Atomic, retried artifact writes.
+//!
+//! Every artifact the pipeline produces (profile cache, CSV/SVG results,
+//! run summaries, trace files) used to be a raw `fs::write` — a crash or
+//! `ENOSPC` mid-write left a torn file that poisoned the next run. The
+//! helpers here follow the classic write-to-temp-then-rename protocol:
+//!
+//! 1. the payload is written to `.<file>.tmp` next to the destination,
+//! 2. the temp file is `rename(2)`d over the destination.
+//!
+//! Rename is atomic on POSIX filesystems, so at every instant the
+//! destination holds either the complete old content or the complete new
+//! content — never a prefix. [`atomic_write_retry`] adds bounded retry
+//! with a **fixed** backoff schedule (1, 2, 4, … ms, capped at 32 ms —
+//! no wall-clock randomness, so faulting runs reproduce): `MICA_RETRIES`
+//! (default 3) extra attempts after the first.
+//!
+//! Both helpers consult the installed [`crate::plan`] first, keyed by the
+//! caller-supplied `site` name, so CI can deterministically inject write
+//! errors (`io:SITE`) and simulated kill-mid-write tears (`torn:SITE`)
+//! at any adopter.
+
+use crate::metrics;
+use crate::plan::{self, IoFaultKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Extra attempts after the first failed write: `MICA_RETRIES` if set to a
+/// non-negative integer, else 3.
+pub fn retries() -> u32 {
+    match std::env::var("MICA_RETRIES") {
+        Err(_) => 3,
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: ignoring invalid MICA_RETRIES={v:?}; using 3");
+                3
+            }
+        },
+    }
+}
+
+/// Fixed backoff before retry attempt `attempt` (1-based): 1, 2, 4, … ms,
+/// capped at 32 ms. Deterministic by construction.
+pub(crate) fn backoff_ms(attempt: u32) -> u64 {
+    1u64 << attempt.saturating_sub(1).min(5)
+}
+
+/// The sibling temp path the atomic protocol stages into:
+/// `dir/.<file>.tmp`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+fn injected_error(site: &str, what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what} at site {site} (MICA_FAULTS)"))
+}
+
+/// Write `bytes` to `path` atomically: stage into [`tmp_path`], then
+/// rename over the destination. Parent directories are created as needed.
+///
+/// An installed fault plan may fail the attempt (`io:SITE`, nothing
+/// written) or tear it (`torn:SITE`, a partial temp file is left behind as
+/// a simulated kill mid-write) — in both cases the destination is
+/// untouched.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and injected faults.
+pub fn atomic_write(site: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    match plan::io_fault(site) {
+        Some(IoFaultKind::Error) => {
+            metrics::incr(&metrics::INJECTED_IO);
+            return Err(injected_error(site, "write error"));
+        }
+        Some(IoFaultKind::Torn) => {
+            metrics::incr(&metrics::INJECTED_TORN);
+            // A kill mid-write tears the *temp* file; the destination is
+            // protected by the rename that never happens.
+            let _ = fs::write(tmp_path(path), &bytes[..bytes.len() / 2]);
+            return Err(injected_error(site, "torn write (simulated crash mid-write)"));
+        }
+        None => {}
+    }
+    let tmp = tmp_path(path);
+    if let Err(e) = fs::write(&tmp, bytes) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fs::rename(&tmp, path)?;
+    metrics::incr(&metrics::ATOMIC_WRITES);
+    Ok(())
+}
+
+/// [`atomic_write`] with up to `retries` extra attempts, sleeping the
+/// fixed [`backoff_ms`] schedule between attempts.
+///
+/// # Errors
+///
+/// The last attempt's error once the budget is exhausted.
+pub fn atomic_write_with_retries(
+    site: &str,
+    path: &Path,
+    bytes: &[u8],
+    retries: u32,
+) -> io::Result<()> {
+    let mut attempt = 0u32;
+    loop {
+        match atomic_write(site, path, bytes) {
+            Ok(()) => {
+                if attempt > 0 {
+                    metrics::incr(&metrics::SURVIVED_IO);
+                    eprintln!(
+                        "mica-fault: write to {} (site {site}) succeeded after {attempt} retr{}",
+                        path.display(),
+                        if attempt == 1 { "y" } else { "ies" }
+                    );
+                }
+                return Ok(());
+            }
+            Err(e) => {
+                if attempt >= retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                metrics::incr(&metrics::IO_RETRIES);
+                eprintln!(
+                    "warning: write to {} (site {site}) failed ({e}); retry {attempt}/{retries}",
+                    path.display()
+                );
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+            }
+        }
+    }
+}
+
+/// [`atomic_write_with_retries`] with the environment's [`retries`]
+/// budget — the form the pipeline's artifact writers use.
+///
+/// # Errors
+///
+/// See [`atomic_write_with_retries`].
+pub fn atomic_write_retry(site: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with_retries(site, path, bytes, retries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use std::sync::Mutex;
+
+    /// Plan mutations are process-global; serialize the tests that touch
+    /// them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mica_fault_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_parents_and_leaves_no_tmp() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("deep/nested/out.json");
+        atomic_write("test.atomic", &path, b"{\"ok\":true}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"ok\":true}");
+        assert!(!tmp_path(&path).exists(), "temp file renamed away");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content_completely() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.txt");
+        atomic_write("test.replace", &path, b"old old old old").unwrap();
+        atomic_write("test.replace", &path, b"new").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn injected_error_fails_without_touching_destination() {
+        let _g = LOCK.lock().unwrap();
+        let dir = tmp_dir("injected");
+        let path = dir.join("out.txt");
+        fs::write(&path, b"old").unwrap();
+        plan::install(FaultPlan::parse("io:test.site").unwrap());
+        let err = atomic_write("test.site", &path, b"new").unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        plan::clear();
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_write_leaves_old_or_new_never_partial() {
+        let _g = LOCK.lock().unwrap();
+        let dir = tmp_dir("torn");
+        let path = dir.join("out.json");
+        let old = b"{\"version\":\"old\"}".to_vec();
+        let new = b"{\"version\":\"new-and-longer\"}".to_vec();
+        atomic_write("test.torn", &path, &old).unwrap();
+
+        // Kill-during-write: with a zero retry budget the tear is fatal,
+        // but the destination still holds the complete old content.
+        plan::install(FaultPlan::parse("torn:test.torn").unwrap());
+        atomic_write_with_retries("test.torn", &path, &new, 0).unwrap_err();
+        assert_eq!(fs::read(&path).unwrap(), old, "old content intact after tear");
+        let partial = fs::read(tmp_path(&path)).unwrap();
+        assert_eq!(partial, new[..new.len() / 2], "the tear hit the temp file only");
+
+        // The rewrite after the injected tear replaces it atomically.
+        plan::clear();
+        atomic_write_retry("test.torn", &path, &new).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), new);
+        assert!(!tmp_path(&path).exists());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn retry_survives_a_bounded_fault_budget() {
+        let _g = LOCK.lock().unwrap();
+        let dir = tmp_dir("retry");
+        let path = dir.join("out.txt");
+        plan::install(FaultPlan::parse("io:test.retry@2").unwrap());
+        let survived_before = metrics::get(&metrics::SURVIVED_IO);
+        atomic_write_with_retries("test.retry", &path, b"payload", 3).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"payload");
+        assert_eq!(metrics::get(&metrics::SURVIVED_IO), survived_before + 1);
+
+        // A budget smaller than the fault count exhausts and fails.
+        plan::install(FaultPlan::parse("io:test.retry@5").unwrap());
+        atomic_write_with_retries("test.retry", &path, b"other", 2).unwrap_err();
+        assert_eq!(fs::read(&path).unwrap(), b"payload", "failed write changed nothing");
+        plan::clear();
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn backoff_schedule_is_fixed_and_capped() {
+        assert_eq!(
+            (1..=8).map(backoff_ms).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 32, 32, 32]
+        );
+    }
+
+    #[test]
+    fn tmp_path_is_a_hidden_sibling() {
+        assert_eq!(
+            tmp_path(Path::new("results/profiles.json")),
+            Path::new("results/.profiles.json.tmp")
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! `mica-fault`: deterministic fault injection and resilient artifact I/O.
+//!
+//! The paper's methodology only works when all 122 benchmarks yield a
+//! complete characterization, yet a pipeline that *aborts* on the first
+//! panicking kernel or torn cache file turns one transient fault into a
+//! lost run. This crate is the resilience substrate the rest of the
+//! workspace builds on:
+//!
+//! - [`io`] — write-to-temp-then-rename **atomic writes** plus bounded
+//!   **deterministic retry** with a fixed backoff schedule (`MICA_RETRIES`,
+//!   default 3). Adopted by the profile cache, every results artifact, the
+//!   run summaries, the observability sinks and the trace dumps: an
+//!   interrupted write leaves either the old file or the new file on disk,
+//!   never a partial one.
+//! - [`plan`] — an env-driven **fault plan** (`MICA_FAULTS`) describing
+//!   faults to inject deterministically: kernel panics, write errors and
+//!   torn writes at named I/O sites. CI uses it to *prove* every
+//!   degradation path — a run with an injected kernel panic must still
+//!   complete on the surviving 121 benchmarks, and a run with an injected
+//!   cache-write error must survive it through retry.
+//! - [`metrics`] — process-wide counters of injected and survived faults.
+//!   `mica-obs` merges them into its counter snapshot, so run summaries
+//!   record exactly which faults fired and which were absorbed.
+//!
+//! The crate sits at the very bottom of the dependency stack (std only, no
+//! deps — `mica-obs` depends on *it*), so injection and atomicity are
+//! available everywhere without cycles. Nothing here reads wall-clock
+//! randomness: fault plans fire on exact name/occurrence matches and the
+//! retry backoff is a fixed schedule, so a faulting run is reproducible
+//! bit for bit.
+//!
+//! # Fault grammar (`MICA_FAULTS`)
+//!
+//! Comma-separated directives:
+//!
+//! ```text
+//! panic:kernel=NAME      panic while profiling kernel NAME (program name
+//!                        such as `adpcm`, or full `suite/program/input`)
+//! io:SITE[@N]            fail the first N write attempts at SITE
+//!                        (default N=1)
+//! torn:SITE[@N]          simulate a crash mid-write at SITE for the first
+//!                        N attempts: a partial temp file is written, an
+//!                        error is returned, the destination is untouched
+//! ```
+//!
+//! Example: `MICA_FAULTS=panic:kernel=adpcm,io:cache-write@2,torn:results`.
+//!
+//! Known sites: `cache-write` (the profile cache / `profiles.json`),
+//! `results` (CSV/SVG/markdown artifacts), `run-summary`
+//! (`run-<bin>.json`), `obs.trace` (`MICA_TRACE`), `obs.events`
+//! (`MICA_EVENTS`), `tinyisa.trace` (binary trace dumps).
+
+pub mod io;
+pub mod metrics;
+pub mod plan;
+
+pub use io::{atomic_write, atomic_write_retry, atomic_write_with_retries, retries, tmp_path};
+pub use plan::{FaultPlan, IoFaultKind, PlanParseError};

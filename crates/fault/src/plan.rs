@@ -1,0 +1,310 @@
+//! Deterministic fault plans (`MICA_FAULTS`).
+//!
+//! A [`FaultPlan`] is a list of directives describing faults to inject at
+//! exact, reproducible points: a named kernel's profiling run, or the
+//! first `N` write attempts at a named I/O site. The process-global plan
+//! is parsed from `MICA_FAULTS` on first use; tests swap it with
+//! [`install`] / [`clear`].
+//!
+//! Injection is consulted from two places:
+//!
+//! - the profiling pipeline asks [`should_panic_kernel`] before running a
+//!   kernel and panics (to be caught by `par_map_isolated`) on a match;
+//! - [`crate::io::atomic_write`] asks [`io_fault`] before touching the
+//!   filesystem and fails (or tears) the attempt on a match.
+//!
+//! Occurrence accounting (`@N`) is per directive and cumulative across the
+//! process: `io:cache-write@2` fails the first two attempts at site
+//! `cache-write`, wherever they come from, then stands down. All adopted
+//! write sites are driven from the main thread, so occurrence order is
+//! deterministic; kernel-panic directives match by *name* and are
+//! scheduling-independent by construction.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// What an `io:`/`torn:` directive does to a write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The attempt fails with an injected I/O error; nothing is written.
+    Error,
+    /// The attempt is torn: a partial temp file is left behind and an
+    /// injected error is returned — a simulated kill mid-write.
+    Torn,
+}
+
+/// One parsed `MICA_FAULTS` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `panic:kernel=NAME` — panic whenever kernel NAME is profiled.
+    PanicKernel {
+        /// Program name (`adpcm`) or full `suite/program/input` name.
+        kernel: String,
+    },
+    /// `io:SITE[@N]` / `torn:SITE[@N]` — fault the first N write attempts
+    /// at SITE.
+    Io {
+        /// Site name as passed to [`crate::io::atomic_write`].
+        site: String,
+        /// Error or torn write.
+        kind: IoFaultKind,
+        /// How many attempts to fault before standing down.
+        attempts: u64,
+    },
+}
+
+/// A parsed fault plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Directives in `MICA_FAULTS` order.
+    pub directives: Vec<Directive>,
+}
+
+/// Why a `MICA_FAULTS` directive did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending directive text.
+    pub directive: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad MICA_FAULTS directive {:?}: {}", self.directive, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan (nothing injected).
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no directive is present.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Parse the `MICA_FAULTS` grammar (see the crate docs). Empty and
+    /// whitespace-only input parse to the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// The first directive that does not parse.
+    pub fn parse(s: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut directives = Vec::new();
+        for raw in s.split(',') {
+            let d = raw.trim();
+            if d.is_empty() {
+                continue;
+            }
+            directives.push(parse_directive(d)?);
+        }
+        Ok(FaultPlan { directives })
+    }
+}
+
+fn parse_directive(d: &str) -> Result<Directive, PlanParseError> {
+    let err = |message: &str| PlanParseError { directive: d.to_string(), message: message.into() };
+    let (head, rest) = d.split_once(':').ok_or_else(|| err("expected `kind:...`"))?;
+    match head.trim() {
+        "panic" => {
+            let (what, kernel) =
+                rest.split_once('=').ok_or_else(|| err("expected `panic:kernel=NAME`"))?;
+            if what.trim() != "kernel" {
+                return Err(err("only `panic:kernel=NAME` is supported"));
+            }
+            let kernel = kernel.trim();
+            if kernel.is_empty() {
+                return Err(err("empty kernel name"));
+            }
+            Ok(Directive::PanicKernel { kernel: kernel.to_string() })
+        }
+        kind @ ("io" | "torn") => {
+            let kind =
+                if kind == "io" { IoFaultKind::Error } else { IoFaultKind::Torn };
+            let (site, attempts) = match rest.split_once('@') {
+                None => (rest.trim(), 1),
+                Some((site, n)) => (
+                    site.trim(),
+                    n.trim().parse::<u64>().map_err(|_| err("`@N` must be a positive integer"))?,
+                ),
+            };
+            if site.is_empty() {
+                return Err(err("empty site name"));
+            }
+            if attempts == 0 {
+                return Err(err("`@N` must be a positive integer"));
+            }
+            Ok(Directive::Io { site: site.to_string(), kind, attempts })
+        }
+        _ => Err(err("unknown directive kind (want `panic`, `io` or `torn`)")),
+    }
+}
+
+/// The installed plan plus per-directive fire counts.
+struct PlanState {
+    plan: FaultPlan,
+    /// Times each directive has fired, indexed like `plan.directives`.
+    fired: Vec<u64>,
+}
+
+impl PlanState {
+    fn new(plan: FaultPlan) -> PlanState {
+        let fired = vec![0; plan.directives.len()];
+        PlanState { plan, fired }
+    }
+}
+
+static PLAN: OnceLock<Mutex<PlanState>> = OnceLock::new();
+
+fn state() -> &'static Mutex<PlanState> {
+    PLAN.get_or_init(|| {
+        let plan = match std::env::var("MICA_FAULTS") {
+            Err(_) => FaultPlan::empty(),
+            Ok(s) => match FaultPlan::parse(&s) {
+                Ok(plan) => {
+                    if !plan.is_empty() {
+                        eprintln!(
+                            "mica-fault: injecting {} fault(s) from MICA_FAULTS={s:?}",
+                            plan.directives.len()
+                        );
+                    }
+                    plan
+                }
+                Err(e) => {
+                    eprintln!("warning: {e}; ignoring the whole MICA_FAULTS value");
+                    FaultPlan::empty()
+                }
+            },
+        };
+        Mutex::new(PlanState::new(plan))
+    })
+}
+
+/// Replace the process-global plan (tests and embedders). Resets all
+/// occurrence counts.
+pub fn install(plan: FaultPlan) {
+    *state().lock().expect("fault plan poisoned") = PlanState::new(plan);
+}
+
+/// Remove every directive — nothing is injected until the next
+/// [`install`].
+pub fn clear() {
+    install(FaultPlan::empty());
+}
+
+/// Whether any directive is installed (cheap pre-check for hot paths).
+pub fn active() -> bool {
+    !state().lock().expect("fault plan poisoned").plan.is_empty()
+}
+
+/// Should profiling kernel `name` panic? Matches `panic:kernel=` directives
+/// by exact name; call once with the program name and once with the full
+/// `suite/program/input` name (short-circuited so a match is counted once).
+/// Counts the injection when it matches.
+pub fn should_panic_kernel(name: &str) -> bool {
+    let st = state().lock().expect("fault plan poisoned");
+    for d in &st.plan.directives {
+        if let Directive::PanicKernel { kernel } = d {
+            if kernel == name {
+                drop(st);
+                crate::metrics::incr(&crate::metrics::INJECTED_PANIC);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Should this write attempt at `site` be faulted? Consumes one occurrence
+/// of the first matching directive with occurrences left. Counting of the
+/// injection itself happens in [`crate::io::atomic_write`], which knows
+/// whether the fault was an error or a tear.
+pub fn io_fault(site: &str) -> Option<IoFaultKind> {
+    let mut st = state().lock().expect("fault plan poisoned");
+    for (i, d) in st.plan.directives.iter().enumerate() {
+        if let Directive::Io { site: s, kind, attempts } = d {
+            if s == site && st.fired[i] < *attempts {
+                let kind = *kind;
+                st.fired[i] += 1;
+                return Some(kind);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plan mutations are process-global; serialize the tests that touch
+    /// them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn grammar_parses_every_directive_kind() {
+        let p = FaultPlan::parse("panic:kernel=adpcm, io:cache-write@2 ,torn:results").unwrap();
+        assert_eq!(
+            p.directives,
+            vec![
+                Directive::PanicKernel { kernel: "adpcm".into() },
+                Directive::Io {
+                    site: "cache-write".into(),
+                    kind: IoFaultKind::Error,
+                    attempts: 2
+                },
+                Directive::Io { site: "results".into(), kind: IoFaultKind::Torn, attempts: 1 },
+            ]
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ,, ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_directives_are_rejected_with_context() {
+        for bad in [
+            "panic",
+            "panic:kernel=",
+            "panic:thread=main",
+            "io:",
+            "io:site@0",
+            "io:site@x",
+            "boom:site",
+        ] {
+            let e = FaultPlan::parse(bad).unwrap_err();
+            assert_eq!(e.directive, bad.trim());
+            assert!(!e.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn kernel_panic_matches_by_exact_name_every_time() {
+        let _g = LOCK.lock().unwrap();
+        install(FaultPlan::parse("panic:kernel=adpcm").unwrap());
+        assert!(should_panic_kernel("adpcm"));
+        assert!(should_panic_kernel("adpcm"), "kernel directives fire every time");
+        assert!(!should_panic_kernel("adpcm_c"));
+        assert!(!should_panic_kernel("MiBench/adpcm/rawcaudio"));
+        clear();
+        assert!(!should_panic_kernel("adpcm"));
+    }
+
+    #[test]
+    fn io_occurrences_are_consumed_in_order() {
+        let _g = LOCK.lock().unwrap();
+        install(FaultPlan::parse("io:a@2,torn:a").unwrap());
+        // First two attempts consume the `io:a@2` budget, the third falls
+        // through to `torn:a`, the fourth finds nothing left.
+        assert_eq!(io_fault("a"), Some(IoFaultKind::Error));
+        assert_eq!(io_fault("a"), Some(IoFaultKind::Error));
+        assert_eq!(io_fault("a"), Some(IoFaultKind::Torn));
+        assert_eq!(io_fault("a"), None);
+        assert_eq!(io_fault("b"), None, "other sites never fault");
+        clear();
+    }
+}

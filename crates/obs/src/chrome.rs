@@ -9,11 +9,17 @@
 //! Records are buffered in memory and the whole file (including
 //! `thread_name` metadata for every tid seen) is rewritten on each
 //! [`Sink::flush`], so a crash mid-run loses the trace but a normal run
-//! pays no per-span I/O.
+//! pays no per-span I/O. The flush goes through `mica_fault::io` — a
+//! temp-then-rename atomic write with bounded retry — so a reader never
+//! observes a half-written trace; if the write still fails after the
+//! retry budget, `obs.trace.dropped_events` counts what was lost.
 
-use crate::{push_json_attrs, push_json_str, Event, Sink, SpanRecord};
+use crate::{push_json_attrs, push_json_str, Counter, Event, Sink, SpanRecord};
 use std::path::PathBuf;
 use std::sync::Mutex;
+
+/// Trace events lost because the final flush failed even after retries.
+static DROPPED_EVENTS: Counter = Counter::new("obs.trace.dropped_events");
 
 /// Buffering Chrome-trace writer; finalized by [`Sink::flush`].
 pub struct ChromeTraceSink {
@@ -89,11 +95,14 @@ impl Sink for ChromeTraceSink {
             out.push_str(obj);
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
-        if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        if let Err(e) = std::fs::write(&self.path, out) {
-            eprintln!("warning: cannot write trace file {}: {e}", self.path.display());
+        if let Err(e) = mica_fault::io::atomic_write_retry("obs.trace", &self.path, out.as_bytes())
+        {
+            DROPPED_EVENTS.add(events.len() as u64);
+            eprintln!(
+                "warning: cannot write trace file {}: {e} ({} events dropped)",
+                self.path.display(),
+                events.len()
+            );
         }
     }
 }

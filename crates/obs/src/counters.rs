@@ -73,13 +73,20 @@ impl Counter {
 }
 
 /// Snapshot of every registered counter, ascending by name.
+///
+/// The `fault.*` counters live in `mica-fault` (which sits *below* this
+/// crate and cannot register here); their snapshot is merged in so run
+/// summaries see one flat namespace.
 pub fn counters() -> Vec<(String, u64)> {
-    counter_table()
+    let mut out: Vec<(String, u64)> = counter_table()
         .lock()
         .expect("counter table poisoned")
         .iter()
         .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
-        .collect()
+        .collect();
+    out.extend(mica_fault::metrics::snapshot().into_iter().map(|(n, v)| (n.to_string(), v)));
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 const BUCKETS: usize = 64;
@@ -201,8 +208,10 @@ pub fn histograms() -> Vec<HistogramSnapshot> {
 }
 
 /// Zero every registered counter and histogram (tests; run summaries of
-/// sequential runs in one process).
+/// sequential runs in one process). Also zeros the merged `fault.*`
+/// counters.
 pub fn reset_metrics() {
+    mica_fault::metrics::reset();
     for (_, cell) in counter_table().lock().expect("counter table poisoned").iter() {
         cell.store(0, Ordering::Relaxed);
     }

@@ -8,20 +8,34 @@
 //! {"t":"event","ts_us":123,"tid":0,"level":"info","target":"…","msg":"…","attrs":{…}}
 //! {"t":"span","ts_us":120,"dur_us":15,"tid":1,"depth":0,"cat":"…","name":"…","attrs":{…}}
 //! ```
+//!
+//! Lines are buffered in memory and the whole file is rewritten atomically
+//! (temp-then-rename with bounded retry, via `mica_fault::io`) on each
+//! [`Sink::flush`] — a reader never sees a line cut in half, and a failed
+//! final write is *counted* (`obs.events.dropped_lines`) instead of
+//! silently losing records, which is what the previous streaming writer
+//! did with its discarded `write_all` results.
 
-use crate::{push_json_attrs, push_json_str, Event, Sink, SpanRecord};
+use crate::{push_json_attrs, push_json_str, Counter, Event, Sink, SpanRecord};
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+/// Event/span lines lost because a flush failed even after retries.
+static DROPPED_LINES: Counter = Counter::new("obs.events.dropped_lines");
+
 /// Buffered JSON-lines writer; finalized by [`Sink::flush`].
 pub struct JsonLinesSink {
-    out: Mutex<BufWriter<File>>,
+    path: PathBuf,
+    /// Pre-rendered lines in dispatch order.
+    lines: Mutex<Vec<String>>,
 }
 
 impl JsonLinesSink {
-    /// Create (truncating) the output file.
+    /// Create (truncating) the output file. The eager create validates the
+    /// path up front — a run with a bad `MICA_EVENTS` fails at startup,
+    /// not at the final flush.
     ///
     /// # Errors
     ///
@@ -30,13 +44,12 @@ impl JsonLinesSink {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
-        Ok(JsonLinesSink { out: Mutex::new(BufWriter::new(File::create(path)?)) })
+        File::create(&path)?;
+        Ok(JsonLinesSink { path, lines: Mutex::new(Vec::new()) })
     }
 
-    fn write_line(&self, line: &str) {
-        let mut out = self.out.lock().expect("jsonl writer poisoned");
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+    fn push_line(&self, line: String) {
+        self.lines.lock().expect("jsonl buffer poisoned").push(line);
     }
 }
 
@@ -56,7 +69,7 @@ impl Sink for JsonLinesSink {
         line.push_str(",\"attrs\":");
         push_json_attrs(&mut line, &event.attrs);
         line.push('}');
-        self.write_line(&line);
+        self.push_line(line);
     }
 
     fn on_span(&self, span: &SpanRecord) {
@@ -76,10 +89,24 @@ impl Sink for JsonLinesSink {
         line.push_str(",\"attrs\":");
         push_json_attrs(&mut line, &span.attrs);
         line.push('}');
-        self.write_line(&line);
+        self.push_line(line);
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl writer poisoned").flush();
+        let lines = self.lines.lock().expect("jsonl buffer poisoned");
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>());
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if let Err(e) = mica_fault::io::atomic_write_retry("obs.events", &self.path, out.as_bytes())
+        {
+            DROPPED_LINES.add(lines.len() as u64);
+            eprintln!(
+                "warning: cannot write events file {}: {e} ({} lines dropped)",
+                self.path.display(),
+                lines.len()
+            );
+        }
     }
 }

@@ -18,6 +18,14 @@
 //! thread every entry point degenerates to an inline serial loop with zero
 //! thread overhead.
 //!
+//! Two panic policies are offered. [`par_map`] / [`par_map_indexed`]
+//! propagate a worker panic (abort semantics — one bad item kills the
+//! run). [`par_map_isolated`] / [`par_map_indexed_isolated`] catch each
+//! item's panic and return it as a per-item [`ItemPanic`] error while the
+//! remaining items complete; on the all-`Ok` path the results are
+//! bit-identical to the propagating variants. The resilient profiling
+//! pipeline quarantines the `Err` items and continues on the survivors.
+//!
 //! The pool is instrumented with `mica-obs`: each `par_map` call opens a
 //! `par`-category span on the calling thread, each claimed chunk opens a
 //! child span on its worker (workers register logical thread ids via
@@ -28,9 +36,12 @@
 //! off, or absent.
 
 use mica_obs as obs;
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
+use std::fmt;
 use std::mem::MaybeUninit;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 use std::thread;
 use std::time::Instant;
 
@@ -46,6 +57,9 @@ static CHUNKS: obs::Counter = obs::Counter::new("par.chunks");
 static STEALS: obs::Counter = obs::Counter::new("par.steals");
 /// Wall time per claimed chunk, microseconds.
 static CHUNK_US: obs::Histogram = obs::Histogram::new("par.chunk_us");
+/// Worker panics converted into per-item errors by the `*_isolated` entry
+/// points.
+static PANICS_CAUGHT: obs::Counter = obs::Counter::new("par.panics_caught");
 
 /// Upper bound on indices claimed at once; keeps the tail of the schedule
 /// fine-grained enough to balance uneven item costs (benchmark budgets vary
@@ -163,6 +177,121 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+// ---------------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------------
+
+/// A panic caught while mapping one item with [`par_map_isolated`] /
+/// [`par_map_indexed_isolated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads
+    /// verbatim, anything else a placeholder).
+    pub payload: String,
+}
+
+impl fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// Depth of isolated sections on this thread; while positive, the
+    /// panic hook stays quiet (the catch site reports instead).
+    static ISOLATED: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Install (once) a panic-hook wrapper that suppresses the default
+/// "thread panicked at ..." stderr dump for panics that are about to be
+/// caught and converted into [`ItemPanic`]s, and forwards everything else
+/// to the previously installed hook untouched.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if ISOLATED.with(|c| c.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// RAII marker for "panics here are isolated"; keeps the flag balanced
+/// even when the closure panics.
+struct IsolatedSection;
+
+impl IsolatedSection {
+    fn enter() -> IsolatedSection {
+        ISOLATED.with(|c| c.set(c.get() + 1));
+        IsolatedSection
+    }
+}
+
+impl Drop for IsolatedSection {
+    fn drop(&mut self) {
+        ISOLATED.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Map `f` over `0..n` like [`par_map_indexed`], but convert a panic in
+/// `f(i)` into `Err(`[`ItemPanic`]`)` for that item while every other item
+/// completes normally.
+///
+/// On the all-`Ok` path the produced values are the exact values
+/// [`par_map_indexed`] would produce, in the same input order — isolation
+/// is free of behavioral cost, so resilient callers can use it
+/// unconditionally. The panic-propagating [`par_map`] family remains for
+/// callers that *want* abort semantics.
+///
+/// `f` is wrapped in [`AssertUnwindSafe`] internally: the closure runs on
+/// an isolated item, and a panicking item's partial effects are confined
+/// to values that are dropped with the unwound stack. Callers sharing
+/// interior-mutable state across items must ensure a panicking item leaves
+/// that state consistent (the profiling pipeline shares nothing).
+pub fn par_map_indexed_isolated<R, F>(n: usize, f: F) -> Vec<Result<R, ItemPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    install_quiet_hook();
+    par_map_indexed(n, |i| {
+        let _quiet = IsolatedSection::enter();
+        panic::catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+            PANICS_CAUGHT.incr();
+            let item = ItemPanic { index: i, payload: payload_string(payload) };
+            obs::warn!("isolated worker panic: {item}");
+            item
+        })
+    })
+}
+
+/// Map `f` over a slice with per-item panic isolation. See
+/// [`par_map_indexed_isolated`].
+pub fn par_map_isolated<T, R, F>(items: &[T], f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_isolated(items.len(), |i| f(&items[i]))
+}
+
 /// A lock-free completion counter for progress reporting from workers.
 ///
 /// `tick` increments and returns the new count; workers can use it to
@@ -258,5 +387,64 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn isolated_matches_par_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..500).collect();
+        let plain = par_map(&items, |x| x.wrapping_mul(2654435761).wrapping_add(11));
+        let isolated = par_map_isolated(&items, |x| x.wrapping_mul(2654435761).wrapping_add(11));
+        assert_eq!(isolated.len(), plain.len());
+        for (i, (got, want)) in isolated.into_iter().zip(plain).enumerate() {
+            assert_eq!(got, Ok(want), "item {i}");
+        }
+    }
+
+    #[test]
+    fn isolated_converts_panics_to_item_errors_and_survivors_complete() {
+        let out = par_map_indexed_isolated(97, |i| {
+            if i % 10 == 3 {
+                panic!("boom at {i}");
+            }
+            i * i
+        });
+        assert_eq!(out.len(), 97);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, i);
+                assert_eq!(e.payload, format!("boom at {i}"));
+            } else {
+                assert_eq!(r, &Ok(i * i));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_renders_string_and_opaque_payloads() {
+        let out = par_map_indexed_isolated(3, |i| match i {
+            0 => panic!("static str"),
+            1 => std::panic::panic_any(42u32),
+            _ => i,
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().payload, "static str");
+        assert_eq!(out[1].as_ref().unwrap_err().payload, "non-string panic payload");
+        assert_eq!(out[2], Ok(2));
+        let shown = format!("{}", out[0].as_ref().unwrap_err());
+        assert_eq!(shown, "item 0 panicked: static str");
+    }
+
+    #[test]
+    fn isolated_all_items_panicking_still_returns_every_index() {
+        let out = par_map_indexed_isolated(37, |i| -> usize { panic!("down {i}") });
+        assert_eq!(out.len(), 37);
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(r.unwrap_err().index, i);
+        }
+    }
+
+    #[test]
+    fn isolated_handles_empty_input() {
+        assert_eq!(par_map_indexed_isolated(0, |i| i), Vec::<Result<usize, ItemPanic>>::new());
     }
 }

@@ -1,0 +1,90 @@
+//! Property test for panic isolation: under an arbitrary injected-panic
+//! subset, `par_map_indexed_isolated` returns exactly what
+//! `par_map_indexed` would return for the surviving items and an
+//! `ItemPanic` for each faulted item — at every pool size from 1 to 8.
+//!
+//! The panic subset is driven through a real `mica-fault` plan
+//! (`panic:kernel=item-N` directives), so the test exercises the same
+//! injection path the profiling pipeline uses. The fault plan and
+//! `MICA_THREADS` are process-global, which is why this file holds a
+//! single test function.
+
+use proptest::prelude::*;
+
+/// A deliberately order-sensitive per-item computation, so any slot mixup
+/// or reordering shows up as a value mismatch.
+fn work(i: usize) -> u64 {
+    let mut acc = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for k in 0..64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k ^ i as u64);
+    }
+    acc
+}
+
+fn item_name(i: usize) -> String {
+    format!("item-{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn isolated_equals_par_map_on_survivors_at_every_pool_size(
+        mask in (0usize..=40).prop_flat_map(|n| proptest::collection::vec(any::<bool>(), n..=n)),
+    ) {
+        let n = mask.len();
+        let faulted: Vec<usize> =
+            (0..n).filter(|&i| mask[i]).collect();
+        let plan_text = faulted
+            .iter()
+            .map(|&i| format!("panic:kernel={}", item_name(i)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let survivors: Vec<usize> = (0..n).filter(|&i| !mask[i]).collect();
+
+        let saved_threads = std::env::var("MICA_THREADS").ok();
+        for threads in 1..=8usize {
+            std::env::set_var("MICA_THREADS", threads.to_string());
+
+            // The baseline never consults the plan, so compute it with the
+            // plan cleared; it must be independent of the pool size anyway.
+            mica_fault::plan::clear();
+            let expected: Vec<u64> = mica_par::par_map(&survivors, |&i| work(i));
+
+            mica_fault::plan::install(
+                mica_fault::FaultPlan::parse(&plan_text).expect("generated plan parses"),
+            );
+            let isolated = mica_par::par_map_indexed_isolated(n, |i| {
+                let name = item_name(i);
+                if mica_fault::plan::should_panic_kernel(&name) {
+                    panic!("injected fault: kernel {name} (MICA_FAULTS)");
+                }
+                work(i)
+            });
+            mica_fault::plan::clear();
+
+            prop_assert_eq!(isolated.len(), n);
+            let mut ok = Vec::new();
+            for (i, r) in isolated.into_iter().enumerate() {
+                if mask[i] {
+                    let e = r.expect_err("faulted item must be quarantined");
+                    prop_assert_eq!(e.index, i);
+                    prop_assert_eq!(
+                        e.payload,
+                        format!("injected fault: kernel item-{i} (MICA_FAULTS)")
+                    );
+                } else {
+                    ok.push(r.expect("survivor must complete"));
+                }
+            }
+            prop_assert_eq!(
+                &ok, &expected,
+                "survivor values must be bit-identical to par_map at {} threads", threads
+            );
+        }
+        match saved_threads {
+            Some(v) => std::env::set_var("MICA_THREADS", v),
+            None => std::env::remove_var("MICA_THREADS"),
+        }
+    }
+}

@@ -11,13 +11,16 @@ pub struct DataSet {
 }
 
 impl DataSet {
-    /// Build from row vectors.
+    /// Build from row vectors. An empty row list (possible when every
+    /// benchmark in a run was quarantined) yields a 0×0 data set.
     ///
     /// # Panics
     ///
-    /// Panics if rows have inconsistent lengths or there are no rows.
+    /// Panics if rows have inconsistent lengths or are themselves empty.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
-        assert!(!rows.is_empty(), "data set needs at least one row");
+        if rows.is_empty() {
+            return DataSet { rows: 0, cols: 0, data: Vec::new() };
+        }
         let cols = rows[0].len();
         assert!(cols > 0, "data set needs at least one column");
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -226,5 +229,12 @@ mod csv_tests {
     fn blank_lines_are_skipped() {
         let (_, ds) = DataSet::from_csv("x\n\n1.5\n\n2.5\n").unwrap();
         assert_eq!(ds.column(0), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn empty_row_list_gives_zero_by_zero() {
+        let ds = DataSet::from_rows(Vec::new());
+        assert_eq!(ds.rows(), 0);
+        assert_eq!(ds.cols(), 0);
     }
 }

@@ -82,7 +82,7 @@ fn row_block(ds: &DataSet, i: usize) -> Vec<f64> {
 pub fn pairwise_distances(ds: &DataSet) -> CondensedDistances {
     let n = ds.rows();
     let blocks = mica_par::par_map_indexed(n.saturating_sub(1), |i| row_block(ds, i));
-    let mut values = Vec::with_capacity(n * (n - 1) / 2);
+    let mut values = Vec::with_capacity(n.saturating_sub(1) * n / 2);
     for block in blocks {
         values.extend(block);
     }
@@ -92,7 +92,7 @@ pub fn pairwise_distances(ds: &DataSet) -> CondensedDistances {
 /// Single-threaded reference implementation of [`pairwise_distances`].
 pub fn pairwise_distances_serial(ds: &DataSet) -> CondensedDistances {
     let n = ds.rows();
-    let mut values = Vec::with_capacity(n * (n - 1) / 2);
+    let mut values = Vec::with_capacity(n.saturating_sub(1) * n / 2);
     for i in 0..n {
         values.extend(row_block(ds, i));
     }
@@ -192,6 +192,19 @@ mod tests {
         let ser = pairwise_distances_serial(&ds);
         assert_eq!(par, ser);
         assert!(par.values().iter().zip(ser.values()).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn degenerate_datasets_give_empty_distances() {
+        // 0 rows (fully-quarantined run) and 1 row (single survivor) both
+        // have no pairs; neither may panic.
+        for ds in [DataSet::from_rows(Vec::new()), DataSet::from_rows(vec![vec![1.0, 2.0]])] {
+            let par = pairwise_distances(&ds);
+            let ser = pairwise_distances_serial(&ds);
+            assert_eq!(par, ser);
+            assert!(par.values().is_empty());
+            assert_eq!(par.max(), 0.0);
+        }
     }
 
     #[test]

@@ -82,9 +82,14 @@ fn bic_score(ds: &DataSet, labels: &[usize], centroids: &[Vec<f64>], sse: f64) -
 ///
 /// # Panics
 ///
-/// Panics if `k` is zero or exceeds the number of rows.
+/// Panics if `k` is zero or exceeds the number of rows. An empty dataset
+/// (possible when every benchmark was quarantined) returns an empty
+/// clustering for any `k` instead of panicking.
 pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
     assert!(k >= 1, "k must be positive");
+    if ds.rows() == 0 {
+        return KMeansResult { labels: Vec::new(), centroids: Vec::new(), sse: 0.0, bic: 0.0 };
+    }
     assert!(k <= ds.rows(), "cannot have more clusters than points");
     let mut run_span = obs::span("kmeans", "kmeans");
     run_span.attr("k", k as u64);
@@ -190,6 +195,9 @@ pub fn kmeans(ds: &DataSet, k: usize, seed: u64) -> KMeansResult {
 ///
 /// Returns the chosen clustering; `k_max` is clamped to the number of rows.
 pub fn choose_k_by_bic(ds: &DataSet, k_max: usize, seed: u64) -> KMeansResult {
+    if ds.rows() == 0 {
+        return kmeans(ds, 1, seed);
+    }
     let k_max = k_max.min(ds.rows()).max(1);
     let mut span = obs::span("kmeans", "choose_k_by_bic");
     span.attr("k_max", k_max as u64);
@@ -290,5 +298,18 @@ mod tests {
     fn k_above_n_rejected() {
         let ds = DataSet::from_rows(vec![vec![0.0], vec![1.0]]);
         let _ = kmeans(&ds, 3, 0);
+    }
+
+    #[test]
+    fn empty_dataset_clusters_to_nothing() {
+        // A fully-quarantined run produces a 0-row dataset; the clustering
+        // stages must degrade to an empty result rather than panic.
+        let ds = DataSet::from_rows(Vec::new());
+        let r = kmeans(&ds, 3, 0);
+        assert!(r.labels.is_empty());
+        assert_eq!(r.k(), 0);
+        let r = choose_k_by_bic(&ds, 70, 0);
+        assert!(r.labels.is_empty());
+        assert_eq!(r.k(), 0);
     }
 }

@@ -44,8 +44,13 @@ pub use pca::Pca;
 pub use roc::{auc, classify_pairs, roc_curve, PairClassification, RocPoint};
 
 /// Normalize each column to zero mean and unit standard deviation
-/// (the Section IV normalization). Constant columns become all-zero.
+/// (the Section IV normalization). Constant columns become all-zero;
+/// an empty dataset (possible when every benchmark was quarantined)
+/// passes through unchanged.
 pub fn zscore_normalize(ds: &DataSet) -> DataSet {
+    if ds.rows() == 0 {
+        return ds.clone();
+    }
     let mut out = ds.clone();
     for c in 0..ds.cols() {
         let n = ds.rows() as f64;
@@ -88,5 +93,12 @@ mod tests {
         for r in 0..3 {
             assert_eq!(z.get(r, 0), 0.0);
         }
+    }
+
+    #[test]
+    fn empty_dataset_passes_through() {
+        let ds = DataSet::from_rows(Vec::new());
+        let z = zscore_normalize(&ds);
+        assert_eq!(z, ds);
     }
 }

@@ -233,13 +233,15 @@ impl Trace {
         Ok(Trace { events })
     }
 
-    /// Write the trace to a file.
+    /// Write the trace to a file atomically (temp-then-rename with bounded
+    /// retry), so a crash mid-save leaves the previous trace intact rather
+    /// than a truncated binary that [`Trace::load`] would reject.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors once the retry budget is exhausted.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        fs::write(path, self.to_bytes())
+        mica_fault::io::atomic_write_retry("tinyisa.trace", path, &self.to_bytes())
     }
 
     /// Read a trace from a file.
@@ -313,6 +315,37 @@ mod tests {
         let back = Trace::load(&path).unwrap();
         assert_eq!(t, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_errors_propagate_and_leave_no_temp_file() {
+        let t = record_sample();
+        // The destination's parent is a regular file, so the staged temp
+        // write cannot succeed; the error must reach the caller.
+        let dir = std::env::temp_dir().join(format!("tinyisa_save_err_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not_a_dir");
+        std::fs::write(&blocker, b"file, not dir").unwrap();
+        let path = blocker.join("trace.bin");
+        t.save(&path).unwrap_err();
+        assert_eq!(std::fs::read(&blocker).unwrap(), b"file, not dir");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_replaces_an_existing_trace_atomically() {
+        let t = record_sample();
+        let dir = std::env::temp_dir().join(format!("tinyisa_save_repl_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.bin");
+        std::fs::write(&path, b"stale garbage").unwrap();
+        t.save(&path).unwrap();
+        assert_eq!(Trace::load(&path).unwrap(), t);
+        assert!(
+            !mica_fault::io::tmp_path(&path).exists(),
+            "temp file renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

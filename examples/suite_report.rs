@@ -15,8 +15,10 @@ use mica_suite::stats::{
 };
 
 fn main() {
-    let set = load_or_profile_all(&results_dir().join("profiles.json"), scale())
+    let outcome = load_or_profile_all(&results_dir().join("profiles.json"), scale())
         .expect("profiling succeeds");
+    outcome.announce();
+    let set = outcome.set;
     let mica = mica_dataset(&set);
     let ga = select_features_k(&mica, 8, GaConfig::default());
     let z = zscore_normalize(&mica).select_columns(&ga.selected);
