@@ -27,7 +27,13 @@
 //! Observability (`MICA_LOG`, `MICA_TRACE`, `MICA_EVENTS`) is provided by
 //! [`mica_obs`]; every binary drives a [`runner::Runner`] that times its
 //! stages and writes a machine-readable `run-<bin>.json` report next to
-//! its outputs.
+//! its outputs (override with `--report PATH` or `MICA_REPORT`). Two
+//! deeper profiling knobs feed `mica-prof`:
+//!
+//! - `MICA_ALLOC=1` — count allocations and bytes per span via the
+//!   process-wide tracking allocator installed below;
+//! - `MICA_METRICS_EVERY=2s` — emit periodic heartbeat events carrying
+//!   every counter, so long runs never go dark.
 
 pub mod analysis;
 pub mod lint;
@@ -36,6 +42,13 @@ pub mod results;
 pub mod runner;
 
 use std::path::PathBuf;
+
+/// Allocation profiling needs the tracking allocator installed for the
+/// whole process; every experiment binary and test links this crate, so
+/// installing it here covers them all. Disabled (`MICA_ALLOC` unset) it
+/// costs one relaxed atomic load per allocation.
+#[global_allocator]
+static ALLOC: mica_obs::alloc::TrackingAllocator = mica_obs::alloc::TrackingAllocator;
 
 /// The results directory (`MICA_RESULTS_DIR`, default `results`).
 pub fn results_dir() -> PathBuf {

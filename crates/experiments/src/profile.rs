@@ -32,6 +32,9 @@ static CACHE_MISS_FINGERPRINT: obs::Counter = obs::Counter::new("profile.cache.m
 static CACHE_MISS_SIZE: obs::Counter = obs::Counter::new("profile.cache.miss.size");
 /// Benchmarks quarantined (panicked or errored) instead of profiled.
 static QUARANTINED: obs::Counter = obs::Counter::new("profile.quarantined");
+/// Wall time per profiled kernel, microseconds — run summaries carry the
+/// buckets, so `mica-prof` reports per-kernel p50/p95/p99 offline.
+static KERNEL_US: obs::Histogram = obs::Histogram::new("profile.kernel_us");
 
 /// Register every profiling counter so run summaries list them (at zero)
 /// even on paths that never touch the cache or the profiler.
@@ -325,10 +328,12 @@ pub fn profile_all(scale: f64) -> Result<ProfileOutcome, ProfileError> {
 /// worker thread that ran it, so Chrome traces show the kernel on its
 /// pool lane) and feed the `profile.*` counters.
 fn run_one(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecord, ProfileError> {
+    let started = std::time::Instant::now();
     let mut span = obs::span("profile", spec.name());
     span.attr("budget", budget);
     let rec = profile_benchmark(spec, budget);
     KERNELS.incr();
+    KERNEL_US.record(started.elapsed().as_micros() as u64);
     if let Ok(r) = &rec {
         INSTS.add(r.executed_instructions);
         span.attr("insts", r.executed_instructions);

@@ -5,13 +5,18 @@
 //! times each named [`stage`](Runner::stage) under a child span, and on
 //! [`finish`](Runner::finish) writes a machine-readable
 //! `results/run-<bin>.json` summary — wall time per stage, every registered
-//! `mica-obs` counter, thread count, budget scale, and the workload-table
-//! fingerprint — then flushes all sinks so `MICA_TRACE` files are complete
-//! even if the binary exits immediately afterwards.
+//! `mica-obs` counter and histogram (raw buckets, so `mica-prof` can
+//! recompute latency quantiles offline), thread count, budget scale, and
+//! the workload-table fingerprint — then flushes all sinks so `MICA_TRACE`
+//! files are complete even if the binary exits immediately afterwards.
+//!
+//! The summary path is `--report PATH` (every binary accepts it) or
+//! `MICA_REPORT`, defaulting to `results/run-<bin>.json`.
 
 use crate::profile::Quarantine;
 use mica_obs as obs;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Wall time of one named pipeline stage.
@@ -32,6 +37,43 @@ pub struct CounterEntry {
     pub value: u64,
 }
 
+/// One global histogram at the end of the run — the raw power-of-two
+/// buckets, so `mica-prof` can recompute p50/p95/p99 offline via
+/// [`mica_obs::HistogramSnapshot::quantile_upper_bound`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Histogram name (e.g. `par.chunk_us`).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts, trailing zero buckets trimmed; bucket `b`
+    /// holds values of bit length `b`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramEntry {
+    fn from_snapshot(snap: mica_obs::HistogramSnapshot) -> HistogramEntry {
+        let mut buckets = snap.buckets;
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramEntry { name: snap.name, count: snap.count, sum: snap.sum, buckets }
+    }
+
+    /// Rehydrate the [`mica_obs::HistogramSnapshot`] this entry was
+    /// trimmed from, for quantile queries.
+    pub fn to_snapshot(&self) -> mica_obs::HistogramSnapshot {
+        mica_obs::HistogramSnapshot {
+            name: self.name.clone(),
+            count: self.count,
+            sum: self.sum,
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
 /// The machine-readable run report written as `results/run-<bin>.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -49,8 +91,35 @@ pub struct RunSummary {
     pub stages: Vec<StageSummary>,
     /// Every registered counter, sorted by name.
     pub counters: Vec<CounterEntry>,
+    /// Every registered histogram, sorted by name, buckets included so
+    /// offline analysis can recompute latency quantiles.
+    pub histograms: Vec<HistogramEntry>,
     /// Benchmarks quarantined during this run (empty on a clean run).
     pub quarantined: Vec<Quarantine>,
+}
+
+/// Resolve where the run summary goes: the `--report PATH` (or
+/// `--report=PATH`) command-line flag wins, then the `MICA_REPORT`
+/// environment variable, then `results/run-<bin>.json`. Every experiment
+/// binary constructs a [`Runner`], so every binary accepts the flag — CI
+/// collects summaries from parallel jobs without fighting over
+/// `MICA_RESULTS_DIR`.
+fn report_path(bin: &str) -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--report" {
+            if let Some(path) = args.next() {
+                return PathBuf::from(path);
+            }
+            eprintln!("warning: --report needs a path; using the default");
+        } else if let Some(path) = arg.strip_prefix("--report=") {
+            return PathBuf::from(path);
+        }
+    }
+    if let Some(path) = std::env::var_os("MICA_REPORT") {
+        return PathBuf::from(path);
+    }
+    crate::results_dir().join(format!("run-{bin}.json"))
 }
 
 /// Stage-timing and run-report helper; one per binary invocation.
@@ -112,9 +181,13 @@ impl Runner {
                 .into_iter()
                 .map(|(name, value)| CounterEntry { name, value })
                 .collect(),
+            histograms: obs::histograms()
+                .into_iter()
+                .map(HistogramEntry::from_snapshot)
+                .collect(),
             quarantined,
         };
-        let path = crate::results_dir().join(format!("run-{bin}.json"));
+        let path = report_path(bin);
         let json = serde_json::to_string_pretty(&summary).expect("RunSummary serializes");
         let written =
             mica_fault::io::atomic_write_retry("run-summary", &path, json.as_bytes());

@@ -75,6 +75,37 @@ fn tracing_does_not_change_results() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// Allocation profiling must be a pure observer too: the identical sweep
+/// with `MICA_ALLOC`-style tracking on cannot change a byte of the
+/// scientific output, while the tracker itself demonstrably counted the
+/// run's allocations.
+#[test]
+fn alloc_tracking_does_not_change_results() {
+    std::env::set_var("MICA_THREADS", "4");
+    std::env::set_var("MICA_QUIET", "1");
+
+    let untracked = profile_all(1e-9).expect("untracked profiling succeeds").set;
+
+    // Enabled programmatically (not via MICA_ALLOC) because the env-driven
+    // init already ran for this process. The test binary links
+    // mica_experiments, so its #[global_allocator] is the tracking one.
+    mica_obs::alloc::set_enabled(true);
+    let (count_before, bytes_before) = mica_obs::alloc::totals();
+    let tracked = profile_all(1e-9).expect("tracked profiling succeeds").set;
+    let (count_after, bytes_after) = mica_obs::alloc::totals();
+    mica_obs::alloc::set_enabled(false);
+
+    assert_eq!(
+        serde_json::to_string(&untracked).expect("serializes"),
+        serde_json::to_string(&tracked).expect("serializes"),
+        "allocation tracking changed the profile artifact"
+    );
+    assert!(
+        count_after > count_before && bytes_after > bytes_before,
+        "the tracker observed nothing ({count_before}..{count_after} allocs)"
+    );
+}
+
 #[test]
 fn profile_order_follows_table_order_not_completion_order() {
     std::env::set_var("MICA_THREADS", "4");

@@ -21,6 +21,11 @@ fn finish_writes_a_parseable_run_summary() {
     std::env::set_var("MICA_THREADS", "3");
     std::env::set_var("MICA_SCALE", "0.125");
 
+    static HIST: mica_obs::Histogram = mica_obs::Histogram::new("runner.test.hist_us");
+    for v in [10u64, 100, 1000] {
+        HIST.record(v);
+    }
+
     let mut run = Runner::new("testbin");
     let answer = run.stage("warmup", || 41 + 1);
     assert_eq!(answer, 42);
@@ -61,6 +66,22 @@ fn finish_writes_a_parseable_run_summary() {
 
     // A run that quarantined nothing reports an empty list.
     assert!(parsed.quarantined.is_empty(), "clean run quarantines nothing");
+
+    // Histograms ride along with their raw buckets (trailing zeros
+    // trimmed) and stay sorted; the one recorded above must round-trip
+    // into a queryable snapshot.
+    let hist_names: Vec<&str> = parsed.histograms.iter().map(|h| h.name.as_str()).collect();
+    let mut hist_sorted = hist_names.clone();
+    hist_sorted.sort_unstable();
+    assert_eq!(hist_names, hist_sorted, "histograms are sorted by name");
+    let marker = parsed
+        .histograms
+        .iter()
+        .find(|h| h.name == "runner.test.hist_us")
+        .expect("recorded histogram appears in the summary");
+    assert!(marker.count >= 3);
+    assert!(marker.buckets.last() != Some(&0), "trailing zero buckets are trimmed");
+    assert!(marker.to_snapshot().quantile_upper_bound(1.0) >= 1000);
 
     std::fs::remove_dir_all(dir).ok();
 }

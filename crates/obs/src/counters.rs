@@ -75,7 +75,9 @@ impl Counter {
 /// Snapshot of every registered counter, ascending by name.
 ///
 /// The `fault.*` counters live in `mica-fault` (which sits *below* this
-/// crate and cannot register here); their snapshot is merged in so run
+/// crate and cannot register here) and the `alloc.*` totals live in plain
+/// atomics (a [`Counter`]'s first touch allocates, which would recurse
+/// into the tracking allocator); both snapshots are merged in so run
 /// summaries see one flat namespace.
 pub fn counters() -> Vec<(String, u64)> {
     let mut out: Vec<(String, u64)> = counter_table()
@@ -85,6 +87,9 @@ pub fn counters() -> Vec<(String, u64)> {
         .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
         .collect();
     out.extend(mica_fault::metrics::snapshot().into_iter().map(|(n, v)| (n.to_string(), v)));
+    let (alloc_n, alloc_b) = crate::alloc::totals();
+    out.push(("alloc.count".to_string(), alloc_n));
+    out.push(("alloc.bytes".to_string(), alloc_b));
     out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     out
 }
@@ -169,18 +174,25 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile (`q` in
-    /// 0..=1), or 0 when empty. Bucketed, so an *upper bound*, not an
-    /// exact order statistic.
+    /// Upper bound of the bucket containing the `q`-quantile. Bucketed,
+    /// so an *upper bound*, not an exact order statistic.
+    ///
+    /// Edge cases are pinned down (they used to be whatever float
+    /// arithmetic happened to produce): an empty snapshot and a NaN `q`
+    /// both return 0; `q` outside 0..=1 clamps, so `q = 0.0` is the
+    /// smallest non-empty bucket's bound and `q = 1.0` the largest. A
+    /// snapshot whose buckets under-count `count` (a torn concurrent
+    /// snapshot, or a truncated deserialized one) saturates to
+    /// `u64::MAX` rather than inventing a bound.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = (((q.clamp(0.0, 1.0) * self.count as f64).ceil()) as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
+            seen = seen.saturating_add(n);
+            if n > 0 && seen >= rank {
                 return if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
             }
         }
@@ -212,6 +224,7 @@ pub fn histograms() -> Vec<HistogramSnapshot> {
 /// counters.
 pub fn reset_metrics() {
     mica_fault::metrics::reset();
+    crate::alloc::reset_totals();
     for (_, cell) in counter_table().lock().expect("counter table poisoned").iter() {
         cell.store(0, Ordering::Relaxed);
     }
@@ -273,5 +286,52 @@ mod tests {
         assert_eq!(snap.count, 0);
         assert_eq!(snap.mean(), 0.0);
         assert_eq!(snap.quantile_upper_bound(0.9), 0);
+        assert_eq!(snap.quantile_upper_bound(0.0), 0);
+        assert_eq!(snap.quantile_upper_bound(1.0), 0);
+        assert_eq!(snap.quantile_upper_bound(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        static H: Histogram = Histogram::new("obs.test.hist.quantile");
+        for v in [1u64, 2, 3, 1000] {
+            H.record(v);
+        }
+        let snap = H.snapshot();
+        // q=0 names the smallest non-empty bucket, q=1 the largest.
+        assert_eq!(snap.quantile_upper_bound(0.0), 1);
+        assert_eq!(snap.quantile_upper_bound(1.0), 1023);
+        // Out-of-range q clamps instead of under/overflowing the rank.
+        assert_eq!(snap.quantile_upper_bound(-3.5), 1);
+        assert_eq!(snap.quantile_upper_bound(7.0), 1023);
+        // NaN is an explicit "no answer", not an accidental q=0.
+        assert_eq!(snap.quantile_upper_bound(f64::NAN), 0);
+        // Infinities clamp like any other out-of-range q.
+        assert_eq!(snap.quantile_upper_bound(f64::INFINITY), 1023);
+        assert_eq!(snap.quantile_upper_bound(f64::NEG_INFINITY), 1);
+    }
+
+    #[test]
+    fn quantile_saturates_on_undercounting_buckets() {
+        // A snapshot whose count exceeds its bucket total (torn snapshot
+        // or truncated deserialization) must saturate, not panic or lie.
+        let snap = HistogramSnapshot {
+            name: "torn".to_string(),
+            count: 10,
+            sum: 100,
+            buckets: vec![0, 2],
+        };
+        assert_eq!(snap.quantile_upper_bound(0.1), 1, "rank 1 still lands in bucket 1");
+        assert_eq!(snap.quantile_upper_bound(1.0), u64::MAX, "rank 10 is past every bucket");
+    }
+
+    #[test]
+    fn counters_snapshot_merges_alloc_totals() {
+        let names: Vec<String> = counters().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"alloc.count".to_string()));
+        assert!(names.contains(&"alloc.bytes".to_string()));
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "merged snapshot stays sorted");
     }
 }

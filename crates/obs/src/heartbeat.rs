@@ -1,0 +1,125 @@
+//! Periodic in-process metrics snapshots (`MICA_METRICS_EVERY`).
+//!
+//! Long profiling runs used to go dark between stage boundaries: the only
+//! signal was the per-kernel info lines, and a wedged kernel produced
+//! nothing at all. With `MICA_METRICS_EVERY=2s` (or `500ms`, or a bare
+//! float meaning seconds) a detached thread wakes on that period and
+//! emits one `heartbeat` event carrying every registered counter plus the
+//! allocation totals — so a JSONL stream shows counter *trajectories*
+//! over time, and `mica-prof` can plot progress or spot the moment a
+//! counter stopped moving.
+//!
+//! The thread is a pure observer: it reads atomics and emits through the
+//! normal dispatch (so a disabled pipeline costs nothing beyond the
+//! sleep), and it dies with the process — flush-at-exit is still the
+//! `Runner`'s job.
+
+use crate::{Attr, Level};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Parse a `MICA_METRICS_EVERY` value: `250ms`, `2s`, or a bare number of
+/// seconds (`1.5`). Returns `None` for anything unparsable or non-positive.
+pub(crate) fn parse_period(s: &str) -> Option<Duration> {
+    let s = s.trim();
+    let (num, unit_ms) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1000.0)
+    } else {
+        (s, 1000.0)
+    };
+    let value: f64 = num.trim().parse().ok()?;
+    if !value.is_finite() || value <= 0.0 {
+        return None;
+    }
+    // Floor at 10ms: a pathological period must not busy-spin the emitter.
+    Some(Duration::from_millis(((value * unit_ms) as u64).max(10)))
+}
+
+/// Counter names arrive as `String` snapshots but event attrs need
+/// `&'static str` keys; intern each distinct name once. Bounded by the
+/// number of distinct counters, so the leak is a few hundred bytes.
+fn static_name(name: String) -> &'static str {
+    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut table = INTERNED.lock().expect("heartbeat intern table poisoned");
+    if let Some(s) = table.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    table.insert(name, leaked);
+    leaked
+}
+
+/// Emit one heartbeat event: sequence number, dispatch totals, allocation
+/// totals, and every registered counter as a structured attribute.
+fn beat(seq: u64) {
+    let mut attrs: Vec<(&'static str, Attr)> = Vec::new();
+    attrs.push(("seq", Attr::U64(seq)));
+    let (events, spans) = crate::dispatch_totals();
+    attrs.push(("dispatched_events", Attr::U64(events)));
+    attrs.push(("dispatched_spans", Attr::U64(spans)));
+    let (alloc_n, alloc_b) = crate::alloc::totals();
+    attrs.push(("alloc_n", Attr::U64(alloc_n)));
+    attrs.push(("alloc_b", Attr::U64(alloc_b)));
+    for (name, value) in crate::counters() {
+        attrs.push((static_name(name), Attr::U64(value)));
+    }
+    crate::emit_with(Level::Info, "mica_obs::heartbeat", "heartbeat".to_string(), attrs);
+}
+
+/// Start the heartbeat thread at `period`. Idempotent enough for its two
+/// callers (env init and tests): each call starts one thread, and tests
+/// use short-lived assertions rather than stopping it — the thread is
+/// detached and exits with the process.
+pub fn start_heartbeat(period: Duration) {
+    let spawned = std::thread::Builder::new()
+        .name("mica-obs-heartbeat".to_string())
+        .spawn(move || {
+            let mut seq = 0u64;
+            loop {
+                std::thread::sleep(period);
+                seq += 1;
+                beat(seq);
+            }
+        });
+    if let Err(e) = spawned {
+        eprintln!("warning: cannot start metrics heartbeat: {e}");
+    }
+}
+
+/// Read `MICA_METRICS_EVERY` and start the heartbeat if set. Called once
+/// from the global init.
+pub(crate) fn init_from_env() {
+    let Some(raw) = std::env::var_os("MICA_METRICS_EVERY") else { return };
+    let raw = raw.to_string_lossy();
+    match parse_period(&raw) {
+        Some(period) => start_heartbeat(period),
+        None => eprintln!("warning: unrecognized MICA_METRICS_EVERY={raw:?}; heartbeat is off"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_parses_ms_s_and_bare_seconds() {
+        assert_eq!(parse_period("250ms"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_period("2s"), Some(Duration::from_millis(2000)));
+        assert_eq!(parse_period("1.5"), Some(Duration::from_millis(1500)));
+        assert_eq!(parse_period(" 3 "), Some(Duration::from_millis(3000)));
+        assert_eq!(parse_period("1ms"), Some(Duration::from_millis(10)), "floored at 10ms");
+        for bad in ["", "fast", "-1s", "0", "NaNs"] {
+            assert_eq!(parse_period(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn interned_names_are_stable() {
+        let a = static_name("obs.test.intern".to_string());
+        let b = static_name("obs.test.intern".to_string());
+        assert!(std::ptr::eq(a, b), "same name must intern to one allocation");
+    }
+}

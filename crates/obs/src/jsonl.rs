@@ -2,11 +2,12 @@
 //! and spans interleaved in dispatch order — the machine-readable twin of
 //! the stderr log (`MICA_EVENTS=out.jsonl`).
 //!
-//! Schema (one of two shapes per line):
+//! Schema (one of three shapes per line; `flush` is always last):
 //!
 //! ```json
 //! {"t":"event","ts_us":123,"tid":0,"level":"info","target":"…","msg":"…","attrs":{…}}
 //! {"t":"span","ts_us":120,"dur_us":15,"tid":1,"depth":0,"cat":"…","name":"…","attrs":{…}}
+//! {"t":"flush","events":41,"spans":128,"dropped_lines":0}
 //! ```
 //!
 //! Lines are buffered in memory and the whole file is rewritten atomically
@@ -15,11 +16,23 @@
 //! final write is *counted* (`obs.events.dropped_lines`) instead of
 //! silently losing records, which is what the previous streaming writer
 //! did with its discarded `write_all` results.
+//!
+//! Every flushed file ends with one summary record,
+//!
+//! ```json
+//! {"t":"flush","events":N,"spans":M,"dropped_lines":D}
+//! ```
+//!
+//! so a consumer (`mica-prof`) can prove the stream is complete: a file
+//! with no `flush` line was truncated mid-run, and `dropped_lines > 0`
+//! means an earlier flush lost records — either way the analysis reports
+//! the gap instead of silently under-counting.
 
 use crate::{push_json_attrs, push_json_str, Counter, Event, Sink, SpanRecord};
 use std::fs::File;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Event/span lines lost because a flush failed even after retries.
@@ -30,6 +43,9 @@ pub struct JsonLinesSink {
     path: PathBuf,
     /// Pre-rendered lines in dispatch order.
     lines: Mutex<Vec<String>>,
+    /// Event and span line counts, for the final `flush` record.
+    events: AtomicU64,
+    spans: AtomicU64,
 }
 
 impl JsonLinesSink {
@@ -45,7 +61,12 @@ impl JsonLinesSink {
             std::fs::create_dir_all(parent)?;
         }
         File::create(&path)?;
-        Ok(JsonLinesSink { path, lines: Mutex::new(Vec::new()) })
+        Ok(JsonLinesSink {
+            path,
+            lines: Mutex::new(Vec::new()),
+            events: AtomicU64::new(0),
+            spans: AtomicU64::new(0),
+        })
     }
 
     fn push_line(&self, line: String) {
@@ -69,6 +90,7 @@ impl Sink for JsonLinesSink {
         line.push_str(",\"attrs\":");
         push_json_attrs(&mut line, &event.attrs);
         line.push('}');
+        self.events.fetch_add(1, Ordering::Relaxed);
         self.push_line(line);
     }
 
@@ -89,16 +111,26 @@ impl Sink for JsonLinesSink {
         line.push_str(",\"attrs\":");
         push_json_attrs(&mut line, &span.attrs);
         line.push('}');
+        self.spans.fetch_add(1, Ordering::Relaxed);
         self.push_line(line);
     }
 
     fn flush(&self) {
         let lines = self.lines.lock().expect("jsonl buffer poisoned");
-        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>());
+        let mut out =
+            String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 64);
         for line in lines.iter() {
             out.push_str(line);
             out.push('\n');
         }
+        // The terminating flush record is rendered fresh on every flush
+        // (not buffered), so repeated flushes keep exactly one at the end.
+        out.push_str(&format!(
+            "{{\"t\":\"flush\",\"events\":{},\"spans\":{},\"dropped_lines\":{}}}\n",
+            self.events.load(Ordering::Relaxed),
+            self.spans.load(Ordering::Relaxed),
+            DROPPED_LINES.get(),
+        ));
         if let Err(e) = mica_fault::io::atomic_write_retry("obs.events", &self.path, out.as_bytes())
         {
             DROPPED_LINES.add(lines.len() as u64);

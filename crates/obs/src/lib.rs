@@ -42,12 +42,15 @@
 //! counter bump. No formatting, allocation or clock read happens unless
 //! some installed sink wants the record.
 
+pub mod alloc;
 mod chrome;
 mod counters;
+mod heartbeat;
 mod jsonl;
 mod sink;
 
 pub use chrome::ChromeTraceSink;
+pub use heartbeat::start_heartbeat;
 pub use counters::{
     counters, histograms, reset_metrics, Counter, Histogram, HistogramSnapshot,
 };
@@ -295,6 +298,11 @@ fn state() -> &'static State {
         }
 
         recompute_caps(&sinks);
+        // Deliberately last: the env reads above allocate, and the alloc
+        // flag must stay off until they are done; the heartbeat thread
+        // calls back into this state and blocks until init completes.
+        alloc::init_from_env();
+        heartbeat::init_from_env();
         State {
             sinks: RwLock::new(sinks),
             next_sink_id: AtomicU64::new(next_id),
@@ -553,6 +561,10 @@ struct SpanInner {
     tid: u64,
     depth: u32,
     attrs: Vec<(&'static str, Attr)>,
+    /// Thread (allocations, bytes) at open time, when `MICA_ALLOC`
+    /// tracking was on; the close attaches the delta as `alloc_n` /
+    /// `alloc_b` attributes (inclusive of children).
+    alloc0: Option<(u64, u64)>,
 }
 
 /// RAII guard for a timed span. Created by [`span`]; the span closes (and
@@ -580,6 +592,7 @@ pub fn span(cat: &'static str, name: impl Into<String>) -> Span {
         tid: current_tid(),
         depth,
         attrs: Vec::new(),
+        alloc0: alloc::enabled().then(alloc::thread_totals),
     }))
 }
 
@@ -603,8 +616,13 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(inner) = self.0.take() else { return };
+        let Some(mut inner) = self.0.take() else { return };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if let Some((n0, b0)) = inner.alloc0 {
+            let (n1, b1) = alloc::thread_totals();
+            inner.attrs.push(("alloc_n", Attr::U64(n1.saturating_sub(n0))));
+            inner.attrs.push(("alloc_b", Attr::U64(b1.saturating_sub(b0))));
+        }
         // End time comes from the same epoch clock as the start, so a
         // child's [ts, ts+dur] interval is always contained in its
         // parent's — truncating two different clock reads could put a

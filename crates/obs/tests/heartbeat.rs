@@ -1,0 +1,57 @@
+//! The metrics heartbeat: a started heartbeat emits periodic `heartbeat`
+//! events carrying every registered counter plus dispatch and allocation
+//! totals — the progress signal long runs rely on.
+
+use mica_obs::{add_sink, remove_sink, Attr, Counter, MemorySink};
+use std::time::Duration;
+
+fn init() {
+    std::env::set_var("MICA_LOG", "off");
+    std::env::remove_var("MICA_TRACE");
+    std::env::remove_var("MICA_EVENTS");
+    std::env::remove_var("MICA_METRICS_EVERY");
+}
+
+#[test]
+fn heartbeat_emits_counter_snapshots() {
+    init();
+    static BEATS_SEEN_BY: Counter = Counter::new("obs.test.heartbeat.marker");
+    BEATS_SEEN_BY.add(7);
+
+    let mem = MemorySink::new();
+    let id = add_sink(Box::new(mem.clone()));
+    mica_obs::start_heartbeat(Duration::from_millis(20));
+
+    // Generously outwait several periods; assert on "at least one beat"
+    // so a slow CI machine cannot flake this.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let beats = loop {
+        let beats: Vec<_> = mem
+            .events()
+            .into_iter()
+            .filter(|e| e.target == "mica_obs::heartbeat")
+            .collect();
+        if !beats.is_empty() || std::time::Instant::now() > deadline {
+            break beats;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    remove_sink(id);
+
+    assert!(!beats.is_empty(), "no heartbeat arrived within 5s");
+    let beat = &beats[0];
+    assert_eq!(beat.message, "heartbeat");
+    let attr = |name: &str| {
+        beat.attrs
+            .iter()
+            .find(|(k, _)| *k == name)
+            .unwrap_or_else(|| panic!("missing heartbeat attr {name}"))
+            .1
+            .clone()
+    };
+    assert_eq!(attr("obs.test.heartbeat.marker"), Attr::U64(7));
+    assert!(matches!(attr("seq"), Attr::U64(s) if s >= 1));
+    assert!(matches!(attr("dispatched_events"), Attr::U64(_)));
+    assert!(matches!(attr("alloc_n"), Attr::U64(_)));
+    assert!(matches!(attr("alloc_b"), Attr::U64(_)));
+}

@@ -65,8 +65,20 @@ fn file_round_trips_the_dispatch_stream() {
         .collect();
     assert_eq!(
         lines.len(),
-        mem.records().len(),
-        "file carries exactly the records the capture sink saw"
+        mem.records().len() + 1,
+        "file carries the capture sink's records plus one flush record"
+    );
+
+    // The terminating flush record proves the stream is complete and
+    // carries the truncation counter mica-prof keys on.
+    let flush = lines.last().expect("file is non-empty");
+    assert_eq!(as_str(field(flush, "t")), "flush");
+    assert_eq!(as_u64(field(flush, "events")), 2);
+    assert_eq!(as_u64(field(flush, "spans")), 2);
+    field(flush, "dropped_lines");
+    assert!(
+        lines[..lines.len() - 1].iter().all(|l| as_str(field(l, "t")) != "flush"),
+        "exactly one flush record, and it is last"
     );
 
     let events: Vec<&Value> =

@@ -1,0 +1,150 @@
+//! The `mica-prof` command-line front end.
+//!
+//! ```text
+//! mica-prof analyze --events FILE [--summary FILE] [--out FILE]
+//! mica-prof record  --summary FILE --baseline FILE [--label STR]
+//! mica-prof check   --summary FILE --baseline FILE
+//!                   [--max-ratio R] [--min-abs-s S]
+//! ```
+//!
+//! Exit codes: 0 success / gate passed, 1 usage or I/O error, 2 the gate
+//! found a performance regression (the report names the regressed stage).
+
+use mica_experiments::runner::RunSummary;
+use mica_prof::analysis;
+use mica_prof::baseline::{check, has_regression, render_findings, Baseline, CheckConfig};
+use mica_prof::trace::Trace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  mica-prof analyze --events FILE [--summary FILE] [--out FILE]
+  mica-prof record  --summary FILE --baseline FILE [--label STR]
+  mica-prof check   --summary FILE --baseline FILE [--max-ratio R] [--min-abs-s S]
+
+exit codes: 0 ok, 1 usage/io error, 2 performance regression";
+
+/// Flag parser over `--key value` / `--key=value` pairs.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut pairs = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg:?}"));
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                pairs.push((k.to_string(), v.to_string()));
+            } else {
+                let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                pairs.push((key.to_string(), v.clone()));
+            }
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn path(&self, key: &str) -> Option<PathBuf> {
+        self.get(key).map(PathBuf::from)
+    }
+
+    fn require_path(&self, key: &str) -> Result<PathBuf, String> {
+        self.path(key).ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn load_summary(path: &std::path::Path) -> Result<RunSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read summary {}: {e}", path.display()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| format!("summary {} does not parse: {e:?}", path.display()))
+}
+
+fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
+    let events = args.require_path("events")?;
+    let trace = Trace::load(&events)
+        .map_err(|e| format!("cannot read events {}: {e}", events.display()))?;
+    let summary = match args.path("summary") {
+        Some(p) => Some(load_summary(&p)?),
+        None => None,
+    };
+    let report = analysis::render(&analysis::analyze(&trace, summary.as_ref()));
+    match args.path("out") {
+        Some(out) => std::fs::write(&out, &report)
+            .map_err(|e| format!("cannot write report {}: {e}", out.display()))?,
+        None => print!("{report}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn cmd_record(args: &Args) -> Result<ExitCode, String> {
+    let summary = load_summary(&args.require_path("summary")?)?;
+    let path = args.require_path("baseline")?;
+    let label = args.get("label").unwrap_or("local");
+    let mut base = Baseline::load_or_empty(&path);
+    let seq = base.record(summary, label, unix_now());
+    base.save(&path).map_err(|e| format!("cannot write baseline {}: {e}", path.display()))?;
+    println!(
+        "recorded entry seq={seq} label={label} into {} ({} entries)",
+        path.display(),
+        base.entries.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    let summary = load_summary(&args.require_path("summary")?)?;
+    let path = args.require_path("baseline")?;
+    let mut cfg = CheckConfig::default();
+    if let Some(r) = args.get("max-ratio") {
+        cfg.max_ratio = r.parse().map_err(|_| format!("bad --max-ratio {r:?}"))?;
+    }
+    if let Some(s) = args.get("min-abs-s") {
+        cfg.min_abs_s = s.parse().map_err(|_| format!("bad --min-abs-s {s:?}"))?;
+    }
+    let base = Baseline::load_or_empty(&path);
+    let findings = check(&base, &summary, &cfg);
+    print!("{}", render_findings(&findings));
+    if has_regression(&findings) {
+        eprintln!("mica-prof: performance regression detected");
+        Ok(ExitCode::from(2))
+    } else {
+        println!("mica-prof: gate passed");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "analyze" => cmd_analyze(&args),
+        "record" => cmd_record(&args),
+        "check" => cmd_check(&args),
+        other => Err(format!("unknown command {other:?}")),
+    });
+    match run {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mica-prof: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Loader for `MICA_EVENTS` JSON-lines streams.
+//!
+//! The stream interleaves three record shapes (see `mica_obs::jsonl`):
+//! events, closed spans, and one terminating `flush` summary. Parsing is
+//! deliberately *tolerant* — a line that does not parse, or a record shape
+//! this version does not know, is counted and skipped, never fatal: the
+//! profiler must be able to analyze a trace written by a newer (or older,
+//! or crashed) pipeline and say what it can.
+//!
+//! Span records arrive in **close order** (a parent closes after its
+//! children), carrying only `(ts_us, dur_us, tid, depth)` — no explicit
+//! parent links. [`Trace::forest`] reconstructs the per-thread span trees
+//! by interval nesting: within one logical thread, spans never partially
+//! overlap, so sorting by `(ts asc, dur desc)` and keeping a stack of open
+//! intervals recovers every parent/child edge.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// One leveled event line.
+#[derive(Debug, Clone)]
+pub struct EventRec {
+    /// Microseconds since tracing started.
+    pub ts_us: u64,
+    /// Logical thread id (0 = main, `1 + w` = pool worker `w`).
+    pub tid: u64,
+    /// Level string as written (`"info"`, `"warn"`, …).
+    pub level: String,
+    /// Module-path target.
+    pub target: String,
+    /// Rendered message.
+    pub msg: String,
+    /// Structured attributes.
+    pub attrs: Vec<(String, Value)>,
+}
+
+/// One closed-span line.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Open timestamp, microseconds since tracing started.
+    pub ts_us: u64,
+    /// Wall duration in microseconds.
+    pub dur_us: u64,
+    /// Logical thread id the span ran on.
+    pub tid: u64,
+    /// Nesting depth on its thread at open time.
+    pub depth: u64,
+    /// Static category (`run`, `stage`, `par`, `profile`, …).
+    pub cat: String,
+    /// Span name (stage name, kernel name, …).
+    pub name: String,
+    /// Structured attributes (`alloc_n`/`alloc_b` when `MICA_ALLOC` was on).
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl SpanRec {
+    /// End timestamp in microseconds.
+    pub fn end_us(&self) -> u64 {
+        self.ts_us.saturating_add(self.dur_us)
+    }
+
+    /// A `u64` attribute by name, when present and representable.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attrs.iter().find(|(k, _)| k == key)?.1 {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+}
+
+/// The terminating `flush` summary record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushInfo {
+    /// Event lines the sink dispatched over its lifetime.
+    pub events: u64,
+    /// Span lines the sink dispatched over its lifetime.
+    pub spans: u64,
+    /// Lines lost to failed flushes (`obs.events.dropped_lines`).
+    pub dropped_lines: u64,
+}
+
+/// A parsed `MICA_EVENTS` stream.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Events in dispatch order.
+    pub events: Vec<EventRec>,
+    /// Spans in close order.
+    pub spans: Vec<SpanRec>,
+    /// The terminating summary, when the stream has one.
+    pub flush: Option<FlushInfo>,
+    /// Lines skipped as unparseable or of unknown shape.
+    pub skipped_lines: usize,
+}
+
+/// One node of the reconstructed span forest.
+#[derive(Debug)]
+pub struct SpanNode {
+    /// Index into [`Trace::spans`].
+    pub span: usize,
+    /// Child nodes, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+fn get_str(obj: &Value, key: &str) -> Option<String> {
+    match obj.field(key)? {
+        Value::String(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn get_u64(obj: &Value, key: &str) -> Option<u64> {
+    match obj.field(key)? {
+        Value::Number(n) => n.as_u64(),
+        _ => None,
+    }
+}
+
+fn get_attrs(obj: &Value) -> Vec<(String, Value)> {
+    obj.field("attrs").and_then(Value::as_object).map(<[_]>::to_vec).unwrap_or_default()
+}
+
+impl Trace {
+    /// Parse a JSON-lines stream. Never fails: bad lines are counted in
+    /// [`Trace::skipped_lines`] and analysis reports the gap.
+    pub fn parse(text: &str) -> Trace {
+        let mut trace = Trace::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(doc) = serde_json::from_str::<Value>(line) else {
+                trace.skipped_lines += 1;
+                continue;
+            };
+            let parsed = match doc.field("t").and_then(value_str) {
+                Some("event") => Trace::parse_event(&doc).map(|e| trace.events.push(e)),
+                Some("span") => Trace::parse_span(&doc).map(|s| trace.spans.push(s)),
+                Some("flush") => Trace::parse_flush(&doc).map(|f| trace.flush = Some(f)),
+                _ => None,
+            };
+            if parsed.is_none() {
+                trace.skipped_lines += 1;
+            }
+        }
+        trace
+    }
+
+    /// Read and parse the stream at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; parse problems are tolerated and
+    /// surface as [`Trace::skipped_lines`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Trace> {
+        Ok(Trace::parse(&std::fs::read_to_string(path)?))
+    }
+
+    fn parse_event(doc: &Value) -> Option<EventRec> {
+        Some(EventRec {
+            ts_us: get_u64(doc, "ts_us")?,
+            tid: get_u64(doc, "tid")?,
+            level: get_str(doc, "level")?,
+            target: get_str(doc, "target")?,
+            msg: get_str(doc, "msg")?,
+            attrs: get_attrs(doc),
+        })
+    }
+
+    fn parse_span(doc: &Value) -> Option<SpanRec> {
+        Some(SpanRec {
+            ts_us: get_u64(doc, "ts_us")?,
+            dur_us: get_u64(doc, "dur_us")?,
+            tid: get_u64(doc, "tid")?,
+            depth: get_u64(doc, "depth")?,
+            cat: get_str(doc, "cat")?,
+            name: get_str(doc, "name")?,
+            attrs: get_attrs(doc),
+        })
+    }
+
+    fn parse_flush(doc: &Value) -> Option<FlushInfo> {
+        Some(FlushInfo {
+            events: get_u64(doc, "events")?,
+            spans: get_u64(doc, "spans")?,
+            dropped_lines: get_u64(doc, "dropped_lines")?,
+        })
+    }
+
+    /// Whether the stream is provably incomplete: no terminating `flush`
+    /// record (the run died before its final flush), dropped lines, or a
+    /// flush summary that counts more records than the file holds.
+    pub fn truncated(&self) -> bool {
+        match self.flush {
+            None => true,
+            Some(f) => {
+                f.dropped_lines > 0
+                    || (f.events as usize) > self.events.len()
+                    || (f.spans as usize) > self.spans.len()
+            }
+        }
+    }
+
+    /// Reconstruct the span forest, grouped per logical thread id: the
+    /// map's values are that thread's root spans in start order.
+    pub fn forest(&self) -> BTreeMap<u64, Vec<SpanNode>> {
+        let mut by_tid: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            by_tid.entry(s.tid).or_default().push(i);
+        }
+        let mut forest = BTreeMap::new();
+        for (tid, mut idxs) in by_tid {
+            // Parents start no later and end no earlier than their
+            // children; `depth` breaks zero-duration ties deterministically.
+            idxs.sort_by(|&a, &b| {
+                let (sa, sb) = (&self.spans[a], &self.spans[b]);
+                sa.ts_us
+                    .cmp(&sb.ts_us)
+                    .then(sb.dur_us.cmp(&sa.dur_us))
+                    .then(sa.depth.cmp(&sb.depth))
+            });
+            let mut roots: Vec<SpanNode> = Vec::new();
+            let mut stack: Vec<SpanNode> = Vec::new();
+            for i in idxs {
+                let span = &self.spans[i];
+                while let Some(top) = stack.last() {
+                    if self.spans[top.span].end_us() <= span.ts_us {
+                        let closed = stack.pop().expect("nonempty stack");
+                        match stack.last_mut() {
+                            Some(parent) => parent.children.push(closed),
+                            None => roots.push(closed),
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                stack.push(SpanNode { span: i, children: Vec::new() });
+            }
+            while let Some(closed) = stack.pop() {
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(closed),
+                    None => roots.push(closed),
+                }
+            }
+            forest.insert(tid, roots);
+        }
+        forest
+    }
+}
+
+/// String view of a [`Value`] (the compat serde has no `as_str`).
+fn value_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s),
+        _ => None,
+    }
+}
