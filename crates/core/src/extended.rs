@@ -89,6 +89,35 @@ impl TraceSink for BranchBehavior {
             }
         }
     }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Batch path: bulk-count instructions, tally control and branch
+        // statistics locally, and touch the per-branch map only for actual
+        // conditional branches.
+        self.instructions += block.len() as u64;
+        let mut control = 0u64;
+        let mut branches = 0u64;
+        let mut taken = 0u64;
+        for inst in block {
+            if inst.class.is_control() {
+                control += 1;
+            }
+            if let Some(ctrl) = inst.ctrl {
+                if ctrl.conditional {
+                    branches += 1;
+                    taken += ctrl.taken as u64;
+                    if let Some(prev) = self.last_outcome.insert(inst.pc, ctrl.taken) {
+                        if prev != ctrl.taken {
+                            self.transitions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.control += control;
+        self.branches += branches;
+        self.taken += taken;
+    }
 }
 
 /// Number of extended metrics appended by [`ExtendedSuite`].
@@ -171,6 +200,12 @@ impl TraceSink for ExtendedSuite {
         self.base.retire(inst);
         self.branch.retire(inst);
         self.reuse.retire(inst);
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        self.base.retire_block(block);
+        self.branch.retire_block(block);
+        self.reuse.retire_block(block);
     }
 }
 

@@ -111,6 +111,18 @@ impl TraceSink for IlpAnalyzer {
             m.observe(inst);
         }
     }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Loop inversion: the models are independent, so running one model
+        // over the whole block keeps its `reg_ready`/ring state hot in
+        // cache instead of cycling all models through it per instruction.
+        // Each model sees the same instruction sequence either way.
+        for m in &mut self.models {
+            for inst in block {
+                m.observe(inst);
+            }
+        }
+    }
 }
 
 

@@ -103,6 +103,27 @@ impl TraceSink for PhaseProfiler {
             self.in_interval = 0;
         }
     }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Split the block at interval boundaries so each sub-slice lands
+        // entirely inside one interval — intervals close at exactly the
+        // same instruction as on the per-instruction path.
+        let mut rest = block;
+        while !rest.is_empty() {
+            let room = self.interval - self.in_interval;
+            let take =
+                if room < rest.len() as u64 { room as usize } else { rest.len() };
+            let (chunk, next) = rest.split_at(take);
+            self.current.retire_block(chunk);
+            self.in_interval += take as u64;
+            if self.in_interval == self.interval {
+                let done = std::mem::take(&mut self.current);
+                self.phases.push(done.finish());
+                self.in_interval = 0;
+            }
+            rest = next;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -115,7 +115,15 @@ impl PpmPredictor {
     }
 
     fn key(&self, order: usize, pc: u64, hist: u64) -> (u64, u64) {
-        let masked = if order == 0 { 0 } else { hist & ((1u64 << order) - 1) };
+        // Shift-safe for any order: `1u64 << 64` would be UB-shaped (debug
+        // panic, release wrap to mask 0). Construction rejects orders
+        // above 32, but the mask must not silently corrupt keys if that
+        // bound ever moves.
+        let masked = match order {
+            0 => 0,
+            o if o >= 64 => hist,
+            o => hist & ((1u64 << o) - 1),
+        };
         let table_pc = if self.variant.per_branch_tables() { pc } else { 0 };
         (table_pc, masked)
     }
@@ -163,6 +171,16 @@ impl PpmPredictor {
         }
         correct
     }
+
+    /// Feed a run of conditional-branch outcomes, in order — the batch
+    /// path's entry point. [`CharacterizationSuite`](crate::CharacterizationSuite)
+    /// extracts the branches of a block once and feeds all four predictors
+    /// from the same scratch buffer.
+    pub fn observe_block(&mut self, outcomes: &[(u64, bool)]) {
+        for &(pc, taken) in outcomes {
+            self.observe(pc, taken);
+        }
+    }
 }
 
 impl TraceSink for PpmPredictor {
@@ -170,6 +188,18 @@ impl TraceSink for PpmPredictor {
         if let Some(ctrl) = inst.ctrl {
             if ctrl.conditional {
                 self.observe(inst.pc, ctrl.taken);
+            }
+        }
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Conditional branches are sparse in most blocks; skim them out
+        // without the per-instruction virtual hop.
+        for inst in block {
+            if let Some(ctrl) = inst.ctrl {
+                if ctrl.conditional {
+                    self.observe(inst.pc, ctrl.taken);
+                }
             }
         }
     }
@@ -277,6 +307,24 @@ mod tests {
             }
         }
         assert!(gas.accuracy() >= gag.accuracy() - 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn order_64_is_rejected_at_construction() {
+        // `1u64 << 64` in the key mask would be UB-shaped; such predictors
+        // must never exist.
+        let _ = PpmPredictor::with_max_order(PpmVariant::GAg, 64);
+    }
+
+    #[test]
+    fn max_supported_order_works_end_to_end() {
+        let mut p = PpmPredictor::with_max_order(PpmVariant::PAs, 32);
+        for i in 0..500 {
+            p.observe(0x100, i % 3 == 0);
+        }
+        assert_eq!(p.total(), 500);
+        assert!(p.accuracy() > 0.5, "{}", p.accuracy());
     }
 
     #[test]

@@ -12,7 +12,9 @@ pub const DEP_DIST_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 /// - **average number of input operands** per instruction (metric 11),
 /// - **average degree of use**: how many times a register instance is read
 ///   between its production and the next write of the same register
-///   (metric 12),
+///   (metric 12) — reads of a register that has no live producer yet are
+///   not uses of any register *instance* and do not count here, though
+///   they remain operands for metric 11,
 /// - the cumulative **register dependency distance** distribution — the
 ///   number of dynamic instructions between a register write and a read of
 ///   it (metrics 13–19).
@@ -84,14 +86,34 @@ impl RegTraffic {
     }
 }
 
+/// First cumulative bucket a dependency distance lands in: `BUCKET_OF[d]`
+/// is the smallest `i` with `d <= DEP_DIST_BUCKETS[i]`, for `d` in
+/// `1..=64` (index 0 is unused — a consumer always retires after its
+/// producer, so distances start at 1).
+const BUCKET_OF: [u8; 65] = {
+    let mut t = [0u8; 65];
+    let mut d = 1u64;
+    while d <= 64 {
+        let mut i = 0;
+        while DEP_DIST_BUCKETS[i] < d {
+            i += 1;
+        }
+        t[d as usize] = i as u8;
+        d += 1;
+    }
+    t
+};
+
 impl TraceSink for RegTraffic {
     fn retire(&mut self, inst: &DynInst) {
         self.index += 1;
         for s in inst.sources() {
             self.operand_count += 1;
-            self.reg_reads += 1;
             let prod = self.producer[s.unified()];
             if prod != u64::MAX {
+                // A read of a live register instance: counts for degree of
+                // use (metric 12) and the dependency-distance distribution.
+                self.reg_reads += 1;
                 // Distance in dynamic instructions between producer and
                 // consumer; adjacent instructions have distance 1.
                 let dist = self.index - 1 - prod;
@@ -106,6 +128,49 @@ impl TraceSink for RegTraffic {
         if let Some(d) = inst.dst {
             self.reg_writes += 1;
             self.producer[d.unified()] = self.index - 1;
+        }
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Batch path: tally operands/reads/writes locally and bucket each
+        // dependency distance once via the BUCKET_OF table into a
+        // first-bucket histogram, folded into the cumulative distribution
+        // at block end. The producer table itself is inherently sequential
+        // and is updated in order, exactly as the reference path does.
+        let mut operands = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut hist = [0u64; 7];
+        let mut index = self.index;
+        for inst in block {
+            index += 1;
+            for s in inst.sources() {
+                operands += 1;
+                let prod = self.producer[s.unified()];
+                if prod != u64::MAX {
+                    reads += 1;
+                    let dist = index - 1 - prod;
+                    if dist <= 64 {
+                        hist[BUCKET_OF[dist as usize] as usize] += 1;
+                    }
+                }
+            }
+            if let Some(d) = inst.dst {
+                writes += 1;
+                self.producer[d.unified()] = index - 1;
+            }
+        }
+        self.index = index;
+        self.operand_count += operands;
+        self.reg_reads += reads;
+        self.reg_writes += writes;
+        self.dist_total += reads;
+        // Fold: a read first landing in bucket j belongs to every
+        // cumulative bucket j..7.
+        let mut acc = 0u64;
+        for (b, h) in self.dist_buckets.iter_mut().zip(&hist) {
+            acc += h;
+            *b += acc;
         }
     }
 }
@@ -187,5 +252,25 @@ mod tests {
         r.retire(&inst(Some(2), &[7])); // r7 never produced
         assert_eq!(r.dependency_distance_cdf(), [0.0; 7]);
         assert_eq!(r.avg_input_operands(), 1.0); // still an operand
+    }
+
+    #[test]
+    fn cold_register_reads_do_not_inflate_degree_of_use() {
+        // Metric 12 counts reads per register *instance* (Franklin & Sohi);
+        // a read of a never-written register has no producing instance and
+        // must not count, or cold-start reads inflate the metric.
+        let mut r = RegTraffic::new();
+        r.retire(&inst(Some(1), &[7])); // r7 cold: not a use of an instance
+        r.retire(&inst(None, &[1])); // r1 live: one real use
+        assert_eq!(r.avg_degree_of_use(), 1.0, "1 live read / 1 write");
+        assert_eq!(r.avg_input_operands(), 1.0, "both reads remain operands");
+    }
+
+    #[test]
+    fn bucket_table_matches_the_cumulative_thresholds() {
+        for d in 1u64..=64 {
+            let expect = DEP_DIST_BUCKETS.iter().position(|&t| d <= t).unwrap();
+            assert_eq!(BUCKET_OF[d as usize] as usize, expect, "distance {d}");
+        }
     }
 }

@@ -30,6 +30,9 @@ pub struct CharacterizationSuite {
     pub strides: StrideAnalyzer,
     /// PPM branch predictability, GAg/PAg/GAs/PAs (metrics 44–47).
     pub ppm: [PpmPredictor; 4],
+    /// Batch-path scratch: the conditional-branch outcomes of the current
+    /// block, extracted once and fed to all four predictors.
+    branch_scratch: Vec<(u64, bool)>,
 }
 
 impl Default for CharacterizationSuite {
@@ -53,6 +56,7 @@ impl CharacterizationSuite {
                 PpmPredictor::new(PpmVariant::GAs),
                 PpmPredictor::new(PpmVariant::PAs),
             ],
+            branch_scratch: Vec::new(),
         }
     }
 
@@ -85,6 +89,31 @@ impl TraceSink for CharacterizationSuite {
         self.strides.retire(inst);
         for p in &mut self.ppm {
             p.retire(inst);
+        }
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Fan the whole block out analyzer by analyzer (each runs its own
+        // batch implementation over a hot block) instead of instruction by
+        // instruction. The analyzers are independent, so per-analyzer
+        // state evolves identically either way.
+        self.mix.retire_block(block);
+        self.ilp.retire_block(block);
+        self.reg.retire_block(block);
+        self.wss.retire_block(block);
+        self.strides.retire_block(block);
+        // Extract the (usually sparse) conditional branches once, then
+        // feed all four predictors from the same scratch.
+        self.branch_scratch.clear();
+        for inst in block {
+            if let Some(ctrl) = inst.ctrl {
+                if ctrl.conditional {
+                    self.branch_scratch.push((inst.pc, ctrl.taken));
+                }
+            }
+        }
+        for p in &mut self.ppm {
+            p.observe_block(&self.branch_scratch);
         }
     }
 }

@@ -17,6 +17,9 @@ pub struct WorkingSet {
     d_pages: HashSet<u64>,
     i_blocks: HashSet<u64>,
     i_pages: HashSet<u64>,
+    /// Batch-path scratch: candidate ids for the current block, deduped
+    /// before they are hashed into the sets.
+    scratch: Vec<u64>,
 }
 
 impl WorkingSet {
@@ -57,12 +60,31 @@ impl WorkingSet {
     }
 }
 
+/// Last byte touched by an access: saturates so accesses at the very top
+/// of the address space stay in the last block/page instead of wrapping.
+fn last_byte(addr: u64, size: u64) -> u64 {
+    addr.saturating_add(size.max(1) - 1)
+}
+
+/// Dedup `scratch` (sort + dedup) and insert the distinct ids into `set`.
+/// Sequential code repeats the same blocks and pages heavily, so paying
+/// one sort over a small block-local vector is cheaper than hashing every
+/// occurrence.
+fn flush_ids(scratch: &mut Vec<u64>, set: &mut HashSet<u64>) {
+    scratch.sort_unstable();
+    scratch.dedup();
+    for &id in scratch.iter() {
+        set.insert(id);
+    }
+    scratch.clear();
+}
+
 impl TraceSink for WorkingSet {
     fn retire(&mut self, inst: &DynInst) {
         self.i_blocks.insert(inst.pc >> BLOCK_SHIFT);
         self.i_pages.insert(inst.pc >> PAGE_SHIFT);
         if let Some(m) = inst.mem {
-            let last = m.addr + m.size.max(1) - 1;
+            let last = last_byte(m.addr, m.size);
             for b in (m.addr >> BLOCK_SHIFT)..=(last >> BLOCK_SHIFT) {
                 self.d_blocks.insert(b);
             }
@@ -70,6 +92,44 @@ impl TraceSink for WorkingSet {
                 self.d_pages.insert(p);
             }
         }
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        // Dedup-before-hash: collect ids into scratch, dropping adjacent
+        // duplicates on the way in (instruction streams are runs of nearby
+        // pcs), then sort+dedup and hash each distinct id once. Membership
+        // of the sets is a pure union, so ordering does not matter.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        for (shift, set) in
+            [(BLOCK_SHIFT, &mut self.i_blocks), (PAGE_SHIFT, &mut self.i_pages)]
+        {
+            for inst in block {
+                let id = inst.pc >> shift;
+                if scratch.last() != Some(&id) {
+                    scratch.push(id);
+                }
+            }
+            flush_ids(&mut scratch, set);
+        }
+
+        for (shift, set) in
+            [(BLOCK_SHIFT, &mut self.d_blocks), (PAGE_SHIFT, &mut self.d_pages)]
+        {
+            for inst in block {
+                if let Some(m) = inst.mem {
+                    let last = last_byte(m.addr, m.size);
+                    for id in (m.addr >> shift)..=(last >> shift) {
+                        if scratch.last() != Some(&id) {
+                            scratch.push(id);
+                        }
+                    }
+                }
+            }
+            flush_ids(&mut scratch, set);
+        }
+
+        self.scratch = scratch;
     }
 }
 
@@ -135,6 +195,24 @@ mod tests {
         let mut w = WorkingSet::new();
         w.retire(&mem_inst(0x1000, 0x8ffc, 8)); // crosses 0x9000
         assert_eq!(w.d_stream_pages(), 2);
+    }
+
+    #[test]
+    fn access_at_the_top_of_the_address_space_does_not_overflow() {
+        // addr + size - 1 would wrap past u64::MAX (debug panic, release
+        // wraparound into block 0); the last byte must saturate instead.
+        let mut w = WorkingSet::new();
+        w.retire(&mem_inst(0x1000, u64::MAX - 3, 8));
+        assert_eq!(w.d_stream_blocks(), 1);
+        assert_eq!(w.d_stream_pages(), 1);
+        assert!(w.counts().iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn zero_sized_access_touches_one_block() {
+        let mut w = WorkingSet::new();
+        w.retire(&mem_inst(0x1000, 0x8000, 0));
+        assert_eq!(w.d_stream_blocks(), 1);
     }
 
     #[test]

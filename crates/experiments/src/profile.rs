@@ -6,9 +6,18 @@
 //! benchmarks complete, so one bad kernel degrades a run instead of
 //! killing it. [`profile_all_serial`] keeps the old abort-on-first-error
 //! semantics as the reference implementation.
+//!
+//! Every entry point honors `MICA_BACKEND=ref|batch` (see
+//! [`mica_core::Backend`]): `batch` delivers retired instructions to the
+//! analyzers a block at a time through their `retire_block` fast paths,
+//! `ref` (the default) forces the per-instruction reference tier via
+//! [`PerInst`]. The two tiers are differentially tested to produce
+//! bit-identical profiles. `MICA_ANALYZER_TIMING=1` additionally times
+//! each analyzer's share of delivery, feeding the
+//! `profile.analyzer.*_us` counters that `mica-prof analyze` renders.
 
 use crate::results::{BenchRecord, ProfileSet};
-use mica_core::{CharacterizationSuite, MicaVector, NUM_METRICS};
+use mica_core::{Backend, CharacterizationSuite, MicaVector, PerInst, NUM_METRICS};
 use mica_obs as obs;
 use mica_workloads::{benchmark_table, table_fingerprint, BenchmarkSpec};
 use serde::{Deserialize, Serialize};
@@ -35,6 +44,17 @@ static QUARANTINED: obs::Counter = obs::Counter::new("profile.quarantined");
 /// Wall time per profiled kernel, microseconds — run summaries carry the
 /// buckets, so `mica-prof` reports per-kernel p50/p95/p99 offline.
 static KERNEL_US: obs::Histogram = obs::Histogram::new("profile.kernel_us");
+/// Delivery wall time per analyzer, microseconds, collected only under
+/// `MICA_ANALYZER_TIMING=1`. Deliberately *not* in [`register_counters`]:
+/// they self-register on first bump, so ordinary runs don't list seven
+/// permanently-zero counters.
+static ANALYZER_MIX_US: obs::Counter = obs::Counter::new("profile.analyzer.mix_us");
+static ANALYZER_ILP_US: obs::Counter = obs::Counter::new("profile.analyzer.ilp_us");
+static ANALYZER_REG_US: obs::Counter = obs::Counter::new("profile.analyzer.reg_us");
+static ANALYZER_WSS_US: obs::Counter = obs::Counter::new("profile.analyzer.wss_us");
+static ANALYZER_STRIDES_US: obs::Counter = obs::Counter::new("profile.analyzer.strides_us");
+static ANALYZER_PPM_US: obs::Counter = obs::Counter::new("profile.analyzer.ppm_us");
+static ANALYZER_HPC_US: obs::Counter = obs::Counter::new("profile.analyzer.hpc_us");
 
 /// Register every profiling counter so run summaries list them (at zero)
 /// even on paths that never touch the cache or the profiler.
@@ -106,23 +126,114 @@ impl TraceSink for Tandem<'_> {
         self.mica.retire(inst);
         self.hpc.retire(inst);
     }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        self.mica.retire_block(block);
+        self.hpc.retire_block(block);
+    }
+}
+
+/// Whether `MICA_ANALYZER_TIMING` asks for per-analyzer delivery timing
+/// (any non-empty value other than `0`).
+fn analyzer_timing() -> bool {
+    std::env::var("MICA_ANALYZER_TIMING").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Deliver `block` to one analyzer on the requested tier and charge the
+/// wall time to its counter.
+fn timed_deliver<S: TraceSink + ?Sized>(
+    sink: &mut S,
+    block: &[DynInst],
+    backend: Backend,
+    counter: &obs::Counter,
+) {
+    let started = std::time::Instant::now();
+    match backend {
+        Backend::Batch => sink.retire_block(block),
+        Backend::Ref => {
+            for inst in block {
+                sink.retire(inst);
+            }
+        }
+    }
+    counter.add(started.elapsed().as_micros() as u64);
+}
+
+/// [`Tandem`] with a stopwatch per analyzer: delivery is fanned out
+/// component by component so each analyzer's share of the profile wall
+/// time lands on its own `profile.analyzer.*_us` counter. Per-analyzer
+/// state evolves exactly as on the untimed path (the analyzers are
+/// independent), so profiles are unaffected by timing being on.
+struct TimedTandem<'a> {
+    mica: &'a mut CharacterizationSuite,
+    hpc: &'a mut HpcSimulator,
+    backend: Backend,
+}
+
+impl TraceSink for TimedTandem<'_> {
+    fn retire(&mut self, inst: &DynInst) {
+        // The VM delivers blocks; a lone straggler isn't worth timing.
+        self.mica.retire(inst);
+        self.hpc.retire(inst);
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        timed_deliver(&mut self.mica.mix, block, self.backend, &ANALYZER_MIX_US);
+        timed_deliver(&mut self.mica.ilp, block, self.backend, &ANALYZER_ILP_US);
+        timed_deliver(&mut self.mica.reg, block, self.backend, &ANALYZER_REG_US);
+        timed_deliver(&mut self.mica.wss, block, self.backend, &ANALYZER_WSS_US);
+        timed_deliver(&mut self.mica.strides, block, self.backend, &ANALYZER_STRIDES_US);
+        let started = std::time::Instant::now();
+        for p in &mut self.mica.ppm {
+            match self.backend {
+                Backend::Batch => p.retire_block(block),
+                Backend::Ref => {
+                    for inst in block {
+                        p.retire(inst);
+                    }
+                }
+            }
+        }
+        ANALYZER_PPM_US.add(started.elapsed().as_micros() as u64);
+        timed_deliver(self.hpc, block, self.backend, &ANALYZER_HPC_US);
+    }
 }
 
 /// Run one benchmark for `budget` instructions and return only its
-/// microarchitecture-independent characterization.
+/// microarchitecture-independent characterization, using the backend
+/// selected by `MICA_BACKEND`.
 ///
 /// # Errors
 ///
 /// See [`ProfileError`].
 pub fn characterize(spec: &BenchmarkSpec, budget: u64) -> Result<MicaVector, ProfileError> {
+    characterize_with(spec, budget, Backend::from_env())
+}
+
+/// [`characterize`] with an explicit backend — the differential tests
+/// compare the tiers through this.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn characterize_with(
+    spec: &BenchmarkSpec,
+    budget: u64,
+    backend: Backend,
+) -> Result<MicaVector, ProfileError> {
     let mut vm = spec.build_vm()?;
     let mut suite = CharacterizationSuite::new();
-    vm.run(&mut suite, budget)?;
+    match backend {
+        Backend::Ref => vm.run(&mut PerInst(&mut suite), budget)?,
+        Backend::Batch => vm.run(&mut suite, budget)?,
+    };
     Ok(suite.finish())
 }
 
 /// Run one benchmark for `budget` instructions and return only its
-/// simulated hardware-counter profile.
+/// simulated hardware-counter profile. The HPC simulator has no batch
+/// specialization (its default `retire_block` is the per-instruction
+/// loop), so this path is backend-independent.
 ///
 /// # Errors
 ///
@@ -135,16 +246,38 @@ pub fn profile_hpc(spec: &BenchmarkSpec, budget: u64) -> Result<HpcProfile, Prof
 }
 
 /// Run one benchmark once, producing both characterizations from the same
-/// dynamic instruction stream.
+/// dynamic instruction stream, using the backend selected by
+/// `MICA_BACKEND`.
 ///
 /// # Errors
 ///
 /// See [`ProfileError`].
 pub fn profile_benchmark(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecord, ProfileError> {
+    profile_benchmark_with(spec, budget, Backend::from_env())
+}
+
+/// [`profile_benchmark`] with an explicit backend.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn profile_benchmark_with(
+    spec: &BenchmarkSpec,
+    budget: u64,
+    backend: Backend,
+) -> Result<BenchRecord, ProfileError> {
     let mut vm = spec.build_vm()?;
     let mut mica = CharacterizationSuite::new();
     let mut hpc = HpcSimulator::new();
-    vm.run(&mut Tandem { mica: &mut mica, hpc: &mut hpc }, budget)?;
+    if analyzer_timing() {
+        vm.run(&mut TimedTandem { mica: &mut mica, hpc: &mut hpc, backend }, budget)?;
+    } else {
+        let mut tandem = Tandem { mica: &mut mica, hpc: &mut hpc };
+        match backend {
+            Backend::Ref => vm.run(&mut PerInst(&mut tandem), budget)?,
+            Backend::Batch => vm.run(&mut tandem, budget)?,
+        };
+    }
     Ok(BenchRecord {
         name: spec.name(),
         suite: spec.suite.to_string(),
@@ -306,17 +439,30 @@ fn finish_outcome(
 /// [`ProfileError::InvalidScale`] for a non-finite or non-positive scale —
 /// the only error that aborts the run; per-benchmark failures quarantine.
 pub fn profile_all(scale: f64) -> Result<ProfileOutcome, ProfileError> {
+    profile_all_with(scale, Backend::from_env())
+}
+
+/// [`profile_all`] with an explicit backend. The backend is resolved once,
+/// here, *before* the worker pool starts — an unrecognized `MICA_BACKEND`
+/// panics on the caller's thread instead of quarantining all 122
+/// benchmarks one by one.
+///
+/// # Errors
+///
+/// See [`profile_all`].
+pub fn profile_all_with(scale: f64, backend: Backend) -> Result<ProfileOutcome, ProfileError> {
     validate_scale(scale)?;
     let table = benchmark_table();
     let total = table.len();
     let mut all_span = obs::span("profile", "profile_all");
     all_span.attr("benchmarks", total as u64);
     all_span.attr("scale", scale);
+    all_span.attr("backend", backend.name());
     let progress = mica_par::Progress::new();
     let results = mica_par::par_map_isolated(&table, |spec| {
         inject_kernel_panic(spec);
         let budget = scaled_budget(spec, scale);
-        let rec = run_one(spec, budget);
+        let rec = run_one(spec, budget, backend);
         let done = progress.tick();
         obs::info!("[{done:3}/{total}] {} ({budget} insts)", spec.name());
         rec
@@ -327,11 +473,11 @@ pub fn profile_all(scale: f64) -> Result<ProfileOutcome, ProfileError> {
 /// Profile one benchmark under a per-kernel span (the span lands on the
 /// worker thread that ran it, so Chrome traces show the kernel on its
 /// pool lane) and feed the `profile.*` counters.
-fn run_one(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecord, ProfileError> {
+fn run_one(spec: &BenchmarkSpec, budget: u64, backend: Backend) -> Result<BenchRecord, ProfileError> {
     let started = std::time::Instant::now();
     let mut span = obs::span("profile", spec.name());
     span.attr("budget", budget);
-    let rec = profile_benchmark(spec, budget);
+    let rec = profile_benchmark_with(spec, budget, backend);
     KERNELS.incr();
     KERNEL_US.record(started.elapsed().as_micros() as u64);
     if let Ok(r) = &rec {
@@ -347,6 +493,15 @@ fn run_one(spec: &BenchmarkSpec, budget: u64) -> Result<BenchRecord, ProfileErro
 ///
 /// See [`profile_all`].
 pub fn profile_all_serial(scale: f64) -> Result<ProfileSet, ProfileError> {
+    profile_all_serial_with(scale, Backend::from_env())
+}
+
+/// [`profile_all_serial`] with an explicit backend.
+///
+/// # Errors
+///
+/// See [`profile_all`].
+pub fn profile_all_serial_with(scale: f64, backend: Backend) -> Result<ProfileSet, ProfileError> {
     validate_scale(scale)?;
     let table = benchmark_table();
     let results = table
@@ -355,7 +510,7 @@ pub fn profile_all_serial(scale: f64) -> Result<ProfileSet, ProfileError> {
         .map(|(i, spec)| {
             let budget = scaled_budget(spec, scale);
             obs::info!("[{:3}/{}] {} ({budget} insts)", i + 1, table.len(), spec.name());
-            run_one(spec, budget)
+            run_one(spec, budget, backend)
         })
         .collect();
     finish_set(scale, results)

@@ -83,6 +83,9 @@ pub struct RunSummary {
     pub scale: f64,
     /// Worker-pool width (`MICA_THREADS` or detected parallelism).
     pub threads: u64,
+    /// Analyzer backend the run used (`MICA_BACKEND`): `"ref"` or
+    /// `"batch"`. Baselines only compare runs on the same backend.
+    pub backend: String,
     /// Fingerprint of the benchmark table the binaries were built with.
     pub table_fingerprint: u64,
     /// Total wall-clock seconds from [`Runner::new`] to [`Runner::finish`].
@@ -139,10 +142,14 @@ impl Runner {
         crate::profile::register_counters();
         let threads = mica_par::num_threads();
         let scale = crate::scale();
+        // Resolve the backend up front so a bad MICA_BACKEND aborts before
+        // any work, not 122 quarantines into the profile stage.
+        let backend = mica_core::Backend::from_env();
         let mut run_span = obs::span("run", bin);
         run_span.attr("threads", threads as u64);
         run_span.attr("scale", scale);
-        obs::info!("{bin}: starting ({threads} threads, scale {scale})");
+        run_span.attr("backend", backend.name());
+        obs::info!("{bin}: starting ({threads} threads, scale {scale}, backend {backend})");
         Runner { bin, started: Instant::now(), run_span, stages: Vec::new(), quarantined: Vec::new() }
     }
 
@@ -174,6 +181,7 @@ impl Runner {
             bin: bin.to_string(),
             scale: crate::scale(),
             threads: mica_par::num_threads() as u64,
+            backend: mica_core::Backend::from_env().name().to_string(),
             table_fingerprint: mica_workloads::table_fingerprint(),
             wall_s: started.elapsed().as_secs_f64(),
             stages,

@@ -9,8 +9,9 @@
 //! machine in the history cannot move it much.
 //!
 //! A run is **comparable** to an entry when bin, thread count, workload
-//! table fingerprint, and budget scale all match — timings across
-//! different configurations say nothing about regressions.
+//! table fingerprint, budget scale, and analyzer backend all match —
+//! timings across different configurations say nothing about regressions
+//! (and the batch backend exists precisely because its timings differ).
 //!
 //! A stage regresses when it is slower than the baseline median by *both*
 //! the relative threshold (`max_ratio`) and the absolute floor
@@ -95,7 +96,7 @@ impl Baseline {
     }
 
     /// Entries comparable to `cur`: same bin, threads, table fingerprint,
-    /// and budget scale.
+    /// budget scale, and analyzer backend.
     pub fn comparable(&self, cur: &RunSummary) -> Vec<&BaselineEntry> {
         self.entries
             .iter()
@@ -103,6 +104,7 @@ impl Baseline {
                 let s = &e.summary;
                 s.bin == cur.bin
                     && s.threads == cur.threads
+                    && s.backend == cur.backend
                     && s.table_fingerprint == cur.table_fingerprint
                     && (s.scale - cur.scale).abs() <= 1e-12 * s.scale.abs().max(1.0)
             })
@@ -192,10 +194,12 @@ pub fn check(base: &Baseline, cur: &RunSummary, cfg: &CheckConfig) -> Vec<Findin
             "baseline",
             format!(
                 "no comparable baseline entries for bin={} threads={} scale={} \
-                 fingerprint={:#x} ({} total entries) — gate passes vacuously",
+                 backend={} fingerprint={:#x} ({} total entries) — gate passes \
+                 vacuously",
                 cur.bin,
                 cur.threads,
                 cur.scale,
+                cur.backend,
                 cur.table_fingerprint,
                 base.entries.len()
             ),

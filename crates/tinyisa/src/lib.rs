@@ -51,7 +51,7 @@ pub use disasm::disassemble_op;
 pub use inst::{CtrlInfo, DynInst, Flow, InstClass, MemAccess, MemWidth, Op, RegRef, StaticMemRef};
 pub use mem::Memory;
 pub use trace::{Trace, TraceError, TraceRecorder};
-pub use vm::{CountingSink, RunExit, TraceSink, Vm, VmError};
+pub use vm::{CountingSink, RunExit, TraceSink, Vm, VmError, BATCH_CAPACITY, BATCH_WATERMARK};
 
 /// An integer (general-purpose) architectural register, `x0`..`x31`.
 ///

@@ -42,6 +42,10 @@ impl TraceSink for TraceRecorder {
     fn retire(&mut self, inst: &DynInst) {
         self.trace.events.push(*inst);
     }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        self.trace.events.extend_from_slice(block);
+    }
 }
 
 /// Errors while decoding a serialized trace.
@@ -135,10 +139,25 @@ impl Trace {
         &self.events
     }
 
-    /// Feed every recorded instruction to `sink`, in order.
+    /// Feed every recorded instruction to `sink`, in order, one
+    /// [`TraceSink::retire`] call per instruction — the reference delivery
+    /// path the batch backends are verified against.
     pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) {
         for e in &self.events {
             sink.retire(e);
+        }
+    }
+
+    /// Feed the recorded stream to `sink` in blocks of at most
+    /// `block_size` instructions via [`TraceSink::retire_block`].
+    ///
+    /// For any `block_size >= 1` the sink observes exactly the stream
+    /// [`Trace::replay`] delivers (same instructions, same order); only the
+    /// delivery granularity changes. `block_size` of zero is rounded up
+    /// to one.
+    pub fn replay_blocks<S: TraceSink + ?Sized>(&self, sink: &mut S, block_size: usize) {
+        for chunk in self.events.chunks(block_size.max(1)) {
+            sink.retire_block(chunk);
         }
     }
 
@@ -305,6 +324,19 @@ mod tests {
         let mut sink = CountingSink::default();
         t.replay(&mut sink);
         assert_eq!(sink.retired() as usize, t.len());
+    }
+
+    #[test]
+    fn replay_blocks_matches_replay_for_any_block_size() {
+        let t = record_sample();
+        let mut reference = TraceRecorder::new();
+        t.replay(&mut reference);
+        let reference = reference.into_trace();
+        for block_size in [0usize, 1, 2, 3, 7, 64, 1 << 20] {
+            let mut rec = TraceRecorder::new();
+            t.replay_blocks(&mut rec, block_size);
+            assert_eq!(rec.into_trace(), reference, "block_size = {block_size}");
+        }
     }
 
     #[test]

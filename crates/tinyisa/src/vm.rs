@@ -6,13 +6,40 @@ use crate::mem::Memory;
 use crate::{FReg, Reg, INST_BYTES, NUM_FP_REGS, NUM_INT_REGS};
 use std::fmt;
 
+/// Largest block [`Vm::run`] delivers to [`TraceSink::retire_block`].
+pub const BATCH_CAPACITY: usize = 256;
+
+/// Fill level past which the next basic-block end (any control-flow
+/// instruction) flushes the batch, so blocks tend to align with basic-block
+/// boundaries without letting tiny loops degrade delivery to single digits.
+pub const BATCH_WATERMARK: usize = 192;
+
 /// Observer of retired instructions — the ATOM-analysis analogue.
 ///
 /// Implementations receive every retired [`DynInst`] in program order.
 /// Multiple analyzers are usually fanned out from a single sink.
+///
+/// Delivery happens at two granularities: [`TraceSink::retire`] hands over
+/// one instruction, [`TraceSink::retire_block`] a contiguous run of them.
+/// The two are interchangeable — a block is exactly the instructions that
+/// `retire` would have seen, in the same order, with nothing added or
+/// dropped — so sinks override `retire_block` only as an optimization and
+/// must keep it observably identical to the per-instruction loop.
 pub trait TraceSink {
     /// Called once per retired dynamic instruction, in order.
     fn retire(&mut self, inst: &DynInst);
+
+    /// Called with a run of consecutively retired instructions, in order.
+    ///
+    /// The default implementation loops [`TraceSink::retire`], so existing
+    /// sinks keep working unchanged. Overrides must leave the sink in a
+    /// state indistinguishable from the default (the differential backend
+    /// harness in `mica-core` enforces this for the analyzers).
+    fn retire_block(&mut self, block: &[DynInst]) {
+        for inst in block {
+            self.retire(inst);
+        }
+    }
 }
 
 /// A trivial [`TraceSink`] that counts retired instructions.
@@ -32,11 +59,19 @@ impl TraceSink for CountingSink {
     fn retire(&mut self, _inst: &DynInst) {
         self.retired += 1;
     }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        self.retired += block.len() as u64;
+    }
 }
 
 impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     fn retire(&mut self, inst: &DynInst) {
         (**self).retire(inst);
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        (**self).retire_block(block);
     }
 }
 
@@ -165,17 +200,43 @@ impl Vm {
 
     /// Execute until `halt`, an error, or `fuel` retired instructions.
     ///
-    /// Each retired instruction is reported to `sink`. The machine can be
-    /// resumed by calling `run` again after a [`RunExit::FuelExhausted`].
+    /// Retired instructions are delivered to `sink` in program order.
+    /// Delivery is batched: instructions are buffered into blocks of at
+    /// most [`BATCH_CAPACITY`] and handed over via
+    /// [`TraceSink::retire_block`], with flushes at taken-control-flow
+    /// boundaries (once the buffer passes [`BATCH_WATERMARK`]), at `halt`,
+    /// at fuel exhaustion, and before any error return — so every executed
+    /// instruction reaches the sink exactly once regardless of how the run
+    /// ends. The machine can be resumed by calling `run` again after a
+    /// [`RunExit::FuelExhausted`].
     ///
     /// # Errors
     ///
     /// [`VmError::BadPc`] if an indirect control transfer leaves the text
     /// segment; also returned if execution falls off the end of the program.
+    /// Instructions retired before the fault are flushed to `sink` first
+    /// (the faulting instruction itself never retires).
     pub fn run<S: TraceSink + ?Sized>(
         &mut self,
         sink: &mut S,
         fuel: u64,
+    ) -> Result<RunExit, VmError> {
+        let mut batch: Vec<DynInst> = Vec::with_capacity(BATCH_CAPACITY);
+        let result = self.run_batched(sink, fuel, &mut batch);
+        if !batch.is_empty() {
+            sink.retire_block(&batch);
+        }
+        result
+    }
+
+    /// The interpreter loop. Buffers retired instructions into `batch`,
+    /// flushing to `sink` at capacity and at basic-block ends past the
+    /// watermark; the caller flushes whatever remains on any return path.
+    fn run_batched<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        fuel: u64,
+        batch: &mut Vec<DynInst>,
     ) -> Result<RunExit, VmError> {
         let mut remaining = fuel;
         while remaining > 0 {
@@ -431,7 +492,12 @@ impl Vm {
             self.next = next;
             self.retired += 1;
             remaining -= 1;
-            sink.retire(&d);
+            let block_end = d.ctrl.is_some();
+            batch.push(d);
+            if batch.len() >= BATCH_CAPACITY || (block_end && batch.len() >= BATCH_WATERMARK) {
+                sink.retire_block(batch);
+                batch.clear();
+            }
             if halted {
                 return Ok(RunExit::Halted);
             }
@@ -610,6 +676,73 @@ mod tests {
         let mut vm = Vm::new(a.assemble().unwrap());
         let mut sink = CountingSink::default();
         assert_eq!(vm.run(&mut sink, 100), Err(VmError::BadPc(3)));
+        // The instruction retired before the fault is flushed to the sink.
+        assert_eq!(sink.retired(), 1);
+    }
+
+    #[test]
+    fn block_delivery_concatenates_to_the_per_instruction_stream() {
+        #[derive(Default)]
+        struct Blocks {
+            insts: Vec<DynInst>,
+            sizes: Vec<usize>,
+        }
+        impl TraceSink for Blocks {
+            fn retire(&mut self, _inst: &DynInst) {
+                panic!("vm must deliver through retire_block");
+            }
+            fn retire_block(&mut self, block: &[DynInst]) {
+                self.sizes.push(block.len());
+                self.insts.extend_from_slice(block);
+            }
+        }
+        let build = |a: &mut Asm| {
+            let head = a.label();
+            a.li(T0, 0);
+            a.li(T2, 0x9000);
+            a.bind(head);
+            a.st8(T0, T2, 0);
+            a.ld8(T3, T2, 0);
+            a.addi(T0, T0, 1);
+            a.addi(T2, T2, 8);
+            a.slti(T1, T0, 400);
+            a.bne(T1, ZERO, head);
+            a.halt();
+        };
+        let (_, per_inst) = run_prog(build);
+        let mut a = Asm::new();
+        build(&mut a);
+        let mut vm = Vm::new(a.assemble().unwrap());
+        let mut sink = Blocks::default();
+        assert_eq!(vm.run(&mut sink, 1_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(sink.insts, per_inst);
+        assert!(sink.sizes.iter().all(|&n| n > 0 && n <= BATCH_CAPACITY));
+        // A loop this long must need more than one block.
+        assert!(sink.sizes.len() > 1, "sizes = {:?}", sink.sizes);
+    }
+
+    #[test]
+    fn resume_after_fuel_exhaustion_loses_no_instructions() {
+        let mut a = Asm::new();
+        let head = a.label();
+        a.bind(head);
+        a.addi(T0, T0, 1);
+        a.slti(T1, T0, 500);
+        a.bne(T1, ZERO, head);
+        a.halt();
+        let mut vm = Vm::new(a.assemble().unwrap());
+        let mut sink = CountingSink::default();
+        // Fuel boundaries that don't line up with block or loop boundaries.
+        let mut total = 0u64;
+        for fuel in [1u64, 7, 100, 300, u64::MAX / 2] {
+            let exit = vm.run(&mut sink, fuel).unwrap();
+            total = vm.retired();
+            if exit == RunExit::Halted {
+                break;
+            }
+        }
+        assert_eq!(sink.retired(), total);
+        assert_eq!(vm.reg(T0), 500);
     }
 
     #[test]
