@@ -172,6 +172,40 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     }
 }
 
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::type_mismatch("array", v))?;
+        if items.len() != 2 {
+            return Err(DeError::new(format!("expected a pair, got {} elements", items.len())));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => Err(DeError::type_mismatch("object", v)),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -2,7 +2,7 @@
 //! static-verifier findings. This is the test-suite twin of the `mica-lint`
 //! binary (same shared pass, same config).
 
-use mica_experiments::lint::lint_all;
+use mica_experiments::lint::{findings_json, lint_all, JsonFinding};
 
 #[test]
 fn benchmark_table_is_error_clean() {
@@ -20,4 +20,21 @@ fn benchmark_table_is_error_clean() {
         failures.len(),
         failures.join("\n")
     );
+}
+
+/// The `--json` artifact shape: one entry per finding, stable names, and
+/// a lossless serialization round trip.
+#[test]
+fn findings_json_round_trips() {
+    let reports = lint_all();
+    let findings = findings_json(&reports);
+    let total: usize = reports.iter().map(|(_, r)| r.findings.len()).sum();
+    assert_eq!(findings.len(), total);
+    for f in &findings {
+        assert!(f.severity == "warn" || f.severity == "error", "{:?}", f.severity);
+        assert!(!f.lint.is_empty() && !f.kernel.is_empty() && !f.disasm.is_empty());
+    }
+    let json = serde_json::to_string(&findings).expect("serializes");
+    let back: Vec<JsonFinding> = serde_json::from_str(&json).expect("parses");
+    assert_eq!(findings, back);
 }

@@ -326,6 +326,56 @@ impl Op {
         }
     }
 
+    /// The coarse [`InstClass`] this instruction retires as.
+    ///
+    /// Mirrors the class the VM stamps on the corresponding [`DynInst`]
+    /// exactly (parity-tested against execution), so a static analysis can
+    /// compute the instruction-mix of a region without running it.
+    pub fn class(&self) -> InstClass {
+        match *self {
+            Op::Add(..)
+            | Op::Sub(..)
+            | Op::And(..)
+            | Op::Or(..)
+            | Op::Xor(..)
+            | Op::Sll(..)
+            | Op::Srl(..)
+            | Op::Sra(..)
+            | Op::Slt(..)
+            | Op::Sltu(..)
+            | Op::Addi(..)
+            | Op::Andi(..)
+            | Op::Ori(..)
+            | Op::Xori(..)
+            | Op::Slli(..)
+            | Op::Srli(..)
+            | Op::Srai(..)
+            | Op::Slti(..)
+            | Op::Li(..)
+            | Op::Halt => InstClass::IntAlu,
+            Op::Mul(..) | Op::Mulh(..) | Op::Div(..) | Op::Rem(..) => InstClass::IntMul,
+            Op::Fadd(..)
+            | Op::Fsub(..)
+            | Op::Fmul(..)
+            | Op::Fdiv(..)
+            | Op::Fsqrt(..)
+            | Op::Fabs(..)
+            | Op::Fneg(..)
+            | Op::Fmin(..)
+            | Op::Fmax(..)
+            | Op::Fli(..)
+            | Op::Fmov(..)
+            | Op::Fcvtif(..)
+            | Op::Fcvtfi(..)
+            | Op::Fcmp(..) => InstClass::Fp,
+            Op::Ld(..) | Op::Ldf(..) => InstClass::Load,
+            Op::St(..) | Op::Stf(..) => InstClass::Store,
+            Op::Beq(..) | Op::Bne(..) | Op::Blt(..) | Op::Bge(..) | Op::Bltu(..)
+            | Op::Bgeu(..) => InstClass::Branch,
+            Op::Jmp(_) | Op::Jr(_) | Op::Call(_) | Op::Callr(_) | Op::Ret => InstClass::Jump,
+        }
+    }
+
     /// The data-memory reference this instruction performs, if any.
     pub fn mem_ref(&self) -> Option<StaticMemRef> {
         match *self {
@@ -539,6 +589,26 @@ mod tests {
         assert_eq!((stf.base, stf.offset, stf.width, stf.is_store), (T1, -8, MemWidth::B8, true));
         assert_eq!(Op::Add(T0, T1, T2).mem_ref(), None);
         assert_eq!(Op::Jmp(0).mem_ref(), None);
+    }
+
+    #[test]
+    fn op_class_covers_every_group() {
+        use crate::regs::*;
+        assert_eq!(Op::Add(T0, T1, T2).class(), InstClass::IntAlu);
+        assert_eq!(Op::Li(T0, 3).class(), InstClass::IntAlu);
+        assert_eq!(Op::Halt.class(), InstClass::IntAlu);
+        assert_eq!(Op::Mul(T0, T1, T2).class(), InstClass::IntMul);
+        assert_eq!(Op::Rem(T0, T1, T2).class(), InstClass::IntMul);
+        assert_eq!(Op::Fadd(F0, F1, F2).class(), InstClass::Fp);
+        assert_eq!(Op::Fcvtfi(T0, F0).class(), InstClass::Fp);
+        assert_eq!(Op::Ld(T0, T1, 0, MemWidth::B8).class(), InstClass::Load);
+        assert_eq!(Op::Ldf(F0, T1, 0).class(), InstClass::Load);
+        assert_eq!(Op::St(T0, T1, 0, MemWidth::B1).class(), InstClass::Store);
+        assert_eq!(Op::Stf(F0, T1, 0).class(), InstClass::Store);
+        assert_eq!(Op::Beq(T0, T1, 0).class(), InstClass::Branch);
+        assert_eq!(Op::Jmp(0).class(), InstClass::Jump);
+        assert_eq!(Op::Ret.class(), InstClass::Jump);
+        assert_eq!(Op::Callr(T0).class(), InstClass::Jump);
     }
 
     #[test]

@@ -48,7 +48,9 @@ mod vm;
 
 pub use asm::{Asm, AsmError, Label, Program};
 pub use disasm::disassemble_op;
-pub use inst::{CtrlInfo, DynInst, Flow, InstClass, MemAccess, MemWidth, Op, RegRef, StaticMemRef};
+pub use inst::{
+    CtrlInfo, DynInst, FCmpOp, Flow, InstClass, MemAccess, MemWidth, Op, RegRef, StaticMemRef,
+};
 pub use mem::Memory;
 pub use trace::{Trace, TraceError, TraceRecorder};
 pub use vm::{CountingSink, RunExit, TraceSink, Vm, VmError, BATCH_CAPACITY, BATCH_WATERMARK};

@@ -186,6 +186,16 @@ impl Vm {
         self.retired
     }
 
+    /// Instruction index of the next instruction [`Vm::run`] would execute.
+    ///
+    /// Together with single-instruction fuel this lets a harness observe
+    /// the architectural state *between* retirements — the hook the
+    /// abstract-interpretation soundness checker uses to compare claimed
+    /// value ranges against actual register contents.
+    pub fn next_idx(&self) -> usize {
+        self.next
+    }
+
     fn indirect_target(&self, addr: u64) -> Result<usize, VmError> {
         let base = self.prog.base();
         if addr < base || !(addr - base).is_multiple_of(INST_BYTES) {
@@ -752,6 +762,31 @@ mod tests {
         let mut vm = Vm::new(a.assemble().unwrap());
         let mut sink = CountingSink::default();
         assert!(matches!(vm.run(&mut sink, 100), Err(VmError::BadPc(_))));
+    }
+
+    #[test]
+    fn static_class_matches_retired_class() {
+        // Every retired DynInst must carry exactly Op::class() of its
+        // static instruction — the parity the static-mix report rests on.
+        let (vm, trace) = run_prog(|a| {
+            let skip = a.label();
+            a.li(T0, 3);
+            a.li(T1, 0x8000);
+            a.fli(F0, 1.5);
+            a.mul(T2, T0, T0);
+            a.fadd(F1, F0, F0);
+            a.st8(T2, T1, 0);
+            a.ld8(T3, T1, 0);
+            a.stf(F1, T1, 8);
+            a.beq(T3, ZERO, skip);
+            a.bind(skip);
+            a.fcvtfi(T4, F1);
+            a.halt();
+        });
+        for d in &trace {
+            let idx = vm.program().idx_of(d.pc);
+            assert_eq!(d.class, vm.program().insts()[idx].class(), "pc {:#x}", d.pc);
+        }
     }
 
     #[test]

@@ -208,6 +208,53 @@ impl Cfg {
         self.blocks[from_block].succs.binary_search(&to_block).is_ok()
     }
 
+    /// A copy of this CFG with the indirect terminators named in `resolved`
+    /// narrowed to a single successor: `resolved` maps a block index (whose
+    /// terminator is `jr`/`callr`/`ret`) to the one instruction index its
+    /// target register provably holds. Each target must be a block leader —
+    /// constant propagation only resolves to addresses, and a non-leader
+    /// address would require re-carving blocks. Predecessor lists and
+    /// reachability are recomputed; blocks, `block_of`, and the conservative
+    /// pool are unchanged.
+    pub fn refine_indirect(&self, resolved: &std::collections::BTreeMap<usize, usize>) -> Cfg {
+        let mut blocks = self.blocks.clone();
+        for (&b, &t) in resolved {
+            debug_assert!(self.blocks[self.block_of(t)].start == t, "target must lead a block");
+            blocks[b].succs = vec![self.block_of(t)];
+        }
+        for blk in &mut blocks {
+            blk.preds.clear();
+        }
+        let nb = blocks.len();
+        for b in 0..nb {
+            let succs = blocks[b].succs.clone();
+            for s in succs {
+                blocks[s].preds.push(b);
+            }
+        }
+        for blk in &mut blocks {
+            blk.preds.sort_unstable();
+            blk.preds.dedup();
+        }
+        let mut reachable = vec![false; nb];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &blocks[b].succs {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        Cfg {
+            blocks,
+            block_of: self.block_of.clone(),
+            indirect_targets: self.indirect_targets.clone(),
+            reachable,
+        }
+    }
+
     /// True if some reachable block contains a `halt`.
     pub fn reachable_halt(&self, prog: &Program) -> bool {
         self.blocks.iter().enumerate().any(|(i, b)| {
@@ -328,6 +375,29 @@ mod tests {
         });
         assert_eq!(cfg.blocks().len(), 1);
         assert!(cfg.blocks()[0].falls_off_end);
+    }
+
+    #[test]
+    fn refine_indirect_narrows_succs_and_recomputes_reachability() {
+        let (_, cfg) = cfg_of(|a| {
+            let (f, g, after) = (a.label(), a.label(), a.label());
+            a.call(f); // 0: return site is 1
+            a.bind(after);
+            a.jmp(after); // 1: spin at the return site
+            a.bind(f);
+            a.ret(); // 2: conservatively reaches every pool member
+            a.bind(g);
+            a.halt(); // 3: only reachable through the conservative ret edge
+            let _ = g;
+        });
+        let ret_block = cfg.block_of(2);
+        assert!(cfg.blocks()[ret_block].succs.len() >= 1);
+        let resolved = std::collections::BTreeMap::from([(ret_block, 1usize)]);
+        let refined = cfg.refine_indirect(&resolved);
+        assert_eq!(refined.blocks()[ret_block].succs, vec![refined.block_of(1)]);
+        assert!(refined.blocks()[refined.block_of(1)].preds.contains(&ret_block));
+        // Block structure is untouched.
+        assert_eq!(refined.blocks().len(), cfg.blocks().len());
     }
 
     #[test]

@@ -18,7 +18,20 @@
 //! 4. memory lints on provably-constant addresses ([`const_accesses`]):
 //!    segment bounds, text-segment collisions, width misalignment;
 //! 5. structural lints: redundant jumps, no-op branches, self-loops with no
-//!    exit, unresolvable indirect transfers.
+//!    exit, unresolvable indirect transfers;
+//! 6. an abstract interpretation ([`Analysis`]) layering dominators and the
+//!    natural-loop forest ([`DomTree`], [`LoopForest`]), backward liveness
+//!    and reaching definitions ([`Liveness`], [`ReachingDefs`]), and a
+//!    forward interval ∧ constant domain ([`AbsState`]) with widening at
+//!    loop headers on top of the CFG — and uses constant propagation to
+//!    *tighten* the conservative indirect-target pool before the other
+//!    passes run;
+//! 7. analysis-backed lints: dead stores, memory accesses whose whole value
+//!    range provably misses every declared segment, loops whose every exit
+//!    branch is statically refuted;
+//! 8. a dynamic soundness harness ([`soundness::check_execution`]) that
+//!    single-steps a [`tinyisa::Vm`] and refutes the static claims against
+//!    every retired instruction.
 //!
 //! Findings carry a [`Severity`], the offending pc, and the
 //! [`tinyisa::disassemble_op`] rendering of the instruction:
@@ -30,7 +43,7 @@
 //! let mut a = Asm::new();
 //! let top = a.label();
 //! a.bind(top);
-//! a.addi(T0, T1, 1); // T1 is never written: read-before-init
+//! a.addi(T0, T0, 1); // T0 is never initialized: read-before-init
 //! a.jmp(top);
 //! let prog = a.assemble().unwrap();
 //!
@@ -38,14 +51,22 @@
 //! assert_eq!(report.errors().count(), 1);
 //! let f = report.errors().next().unwrap();
 //! assert_eq!(f.severity, Severity::Error);
-//! assert!(f.rendered().contains("addi x7, x8, 1"));
+//! assert!(f.rendered().contains("addi x7, x7, 1"));
 //! ```
 
+mod absint;
 mod cfg;
 mod dataflow;
+mod dom;
+mod liveness;
+pub mod soundness;
 
+pub use absint::{branch_outcome, transfer, AbsState, Analysis, FpAbs, IntAbs};
 pub use cfg::{Block, Cfg};
 pub use dataflow::{const_accesses, may_uninit_reads, Const, ConstAccess, RegSet, UninitRead};
+pub use dom::{DomTree, LoopForest, NaturalLoop};
+pub use liveness::{Liveness, ReachingDefs};
+pub use soundness::{check_execution, SoundnessReport, Violation};
 
 use mica_obs as obs;
 use std::fmt;
@@ -110,6 +131,17 @@ pub enum Lint {
     /// align to an instruction boundary (a jump through it would split an
     /// instruction).
     SplitTextAddress,
+    /// A register written by a reachable instruction that no path ever
+    /// reads afterwards (loads and the implicit `call` link write are
+    /// exempt — the access, not the value, may be the point).
+    DeadStore,
+    /// A memory access whose *entire* possible address range (from the
+    /// interval analysis) misses every declared data segment.
+    IntervalOutOfSegment,
+    /// A loop with conditional exit branches, every one of which the
+    /// interval analysis refutes: the branch syntax promises an exit the
+    /// values can never take.
+    LoopNeverExits,
 }
 
 impl Lint {
@@ -121,7 +153,10 @@ impl Lint {
             | Lint::UninitRead
             | Lint::OutOfSegment
             | Lint::AccessInText
-            | Lint::BranchTargetOutOfText => Severity::Error,
+            | Lint::BranchTargetOutOfText
+            | Lint::DeadStore
+            | Lint::IntervalOutOfSegment
+            | Lint::LoopNeverExits => Severity::Error,
             Lint::NoReachableHalt
             | Lint::MisalignedAccess
             | Lint::JumpToFallthrough
@@ -148,6 +183,9 @@ impl Lint {
             Lint::SelfLoopNoExit => "self-loop-no-exit",
             Lint::IndirectUnresolved => "indirect-unresolved",
             Lint::SplitTextAddress => "split-text-address",
+            Lint::DeadStore => "dead-store",
+            Lint::IntervalOutOfSegment => "interval-out-of-segment",
+            Lint::LoopNeverExits => "loop-never-exits",
         }
     }
 }
@@ -259,15 +297,17 @@ fn reg_name(r: RegRef) -> String {
 
 /// Run every check against `prog` and collect the findings.
 pub fn verify(prog: &Program, config: &VerifyConfig) -> Report {
-    let cfg = {
-        let _span = obs::span("verify", "cfg_build");
-        Cfg::build(prog)
+    let analysis = {
+        let _span = obs::span("verify", "analysis");
+        Analysis::build(prog, config)
     };
-    verify_with_cfg(prog, &cfg, config)
+    verify_with_analysis(prog, &analysis, config)
 }
 
-/// Like [`verify`], reusing an already-built CFG.
-pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Report {
+/// Like [`verify`], reusing an already-built [`Analysis`] (callers that also
+/// want the loop forest or abstract states build it once and share it).
+pub fn verify_with_analysis(prog: &Program, analysis: &Analysis, config: &VerifyConfig) -> Report {
+    let cfg = analysis.cfg();
     PROGRAMS.incr();
     let mut run_span = obs::span("verify", "verify");
     run_span.attr("insts", prog.insts().len() as u64);
@@ -458,6 +498,126 @@ pub fn verify_with_cfg(prog: &Program, cfg: &Cfg, config: &VerifyConfig) -> Repo
 
     drop(structural_span);
 
+    // --- (e) liveness: dead stores ---
+    let liveness_span = obs::span("verify", "liveness");
+    let liveness = analysis.liveness();
+    for (bi, b) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(bi) {
+            continue;
+        }
+        for (off, op) in insts[b.start..b.end].iter().enumerate() {
+            let idx = b.start + off;
+            // A load may exist for the access; a call's RA write is ABI.
+            if matches!(op, Op::Call(_) | Op::Callr(_)) || op.class() == tinyisa::InstClass::Load
+            {
+                continue;
+            }
+            if let Some(d) = op.def() {
+                if !liveness.inst_live_out(idx).contains(d) {
+                    push(
+                        &mut findings,
+                        Lint::DeadStore,
+                        idx,
+                        format!("{} is written here but no path ever reads it again", reg_name(d)),
+                    );
+                }
+            }
+        }
+    }
+
+    drop(liveness_span);
+
+    // --- (f) interval-range memory lints ---
+    let absint_span = obs::span("verify", "absint");
+    if !config.segments.is_empty() {
+        // Sites the flat-constant pass already reported keep one finding.
+        let const_flagged: std::collections::HashSet<usize> = findings
+            .iter()
+            .filter(|f| matches!(f.lint, Lint::OutOfSegment | Lint::AccessInText))
+            .map(|f| f.idx)
+            .collect();
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            if !cfg.is_reachable(bi) {
+                continue;
+            }
+            for (off, op) in insts[b.start..b.end].iter().enumerate() {
+                let idx = b.start + off;
+                let Some(m) = op.mem_ref() else { continue };
+                if const_flagged.contains(&idx) {
+                    continue;
+                }
+                let Some(st) = analysis.inst_state(idx) else { continue };
+                let base = st.read_int(m.base);
+                if base.is_top() {
+                    continue;
+                }
+                let width = m.width.bytes();
+                let lo = base.lo as i128 + m.offset as i128;
+                let one_past = base.hi as i128 + m.offset as i128 + width as i128;
+                if lo < 0 || one_past > i64::MAX as i128 {
+                    continue; // range could wrap as an address: undecidable
+                }
+                let (lo, one_past) = (lo as u64, one_past as u64);
+                let hits_segment = config
+                    .segments
+                    .iter()
+                    .any(|s| lo < s.start.saturating_add(s.len) && one_past > s.start);
+                let hits_text = lo < text_end && one_past > text_start;
+                if !hits_segment && !hits_text {
+                    let kind = if m.is_store { "store" } else { "load" };
+                    push(
+                        &mut findings,
+                        Lint::IntervalOutOfSegment,
+                        idx,
+                        format!(
+                            "{kind} of {width} byte(s) ranges over [{lo:#x}, {one_past:#x}), \
+                             which misses every declared data segment"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- (g) loops whose every exit is statically refuted ---
+    for lp in &analysis.loops().loops {
+        if lp.exits.is_empty() || !cfg.is_reachable(lp.header) {
+            continue; // endless steady-state loops are the kernel shape
+        }
+        let all_refuted = lp.exits.iter().all(|&(from, to)| {
+            let term = cfg.blocks()[from].last();
+            let op = &insts[term];
+            let Flow::Branch(t) = op.flow() else { return false };
+            if term + 1 >= insts.len() {
+                return false;
+            }
+            let taken_block = cfg.block_of(t);
+            if taken_block == cfg.block_of(term + 1) {
+                return false; // degenerate branch: both ways land together
+            }
+            let Some(st) = analysis.inst_state(term) else {
+                return true; // the exit branch itself can never execute
+            };
+            branch_outcome(op, st) == Some(to != taken_block)
+        });
+        if all_refuted {
+            let hidx = cfg.blocks()[lp.header].start;
+            push(
+                &mut findings,
+                Lint::LoopNeverExits,
+                hidx,
+                format!(
+                    "loop at depth {} has {} exit branch(es), every one refuted by the value \
+                     ranges: execution can never leave it",
+                    lp.depth,
+                    lp.exits.len()
+                ),
+            );
+        }
+    }
+
+    drop(absint_span);
+
     findings.sort_by_key(|f| (f.idx, f.severity != Severity::Error, f.lint.name()));
     FINDINGS.add(findings.len() as u64);
     run_span.attr("findings", findings.len() as u64);
@@ -520,7 +680,8 @@ mod tests {
     #[test]
     fn fall_off_end_is_an_error() {
         let r = report(|a| {
-            a.li(T0, 1);
+            a.li(T0, 8);
+            a.st8(T0, T0, 0); // keeps T0 live; still no halt or jump
         });
         assert_eq!(lints(&r), vec![Lint::FallsOffEnd]);
     }
@@ -529,9 +690,10 @@ mod tests {
     fn no_reachable_halt_is_opt_in() {
         let endless = |a: &mut Asm| {
             let top = a.label();
+            a.li(T0, 0);
+            a.li(T1, 1);
             a.bind(top);
-            a.li(T0, 1);
-            a.li(T1, 2);
+            a.add(T0, T0, T1); // loop-carried: every write stays live
             a.jmp(top);
         };
         assert!(report(endless).findings.is_empty());
@@ -546,6 +708,7 @@ mod tests {
     fn uninit_read_is_an_error_with_disasm() {
         let r = report(|a| {
             a.fadd(F2, F0, F1);
+            a.stf(F2, ZERO, 8); // consume F2 so only the uninit reads lint
             a.halt();
         });
         assert_eq!(lints(&r), vec![Lint::UninitRead, Lint::UninitRead]);
@@ -563,6 +726,7 @@ mod tests {
             |a| {
                 a.fcvtif(F1, A0);
                 a.fadd(F2, F0, F1);
+                a.stf(F2, ZERO, 8);
                 a.halt();
             },
             &cfg,
@@ -627,7 +791,6 @@ mod tests {
     fn jump_to_fallthrough_is_a_warning() {
         let r = report(|a| {
             let next = a.label();
-            a.li(T0, 1);
             a.jmp(next);
             a.bind(next);
             a.halt();
@@ -679,10 +842,73 @@ mod tests {
         let r = report(|a| {
             let top = a.label();
             a.bind(top);
-            a.li(T0, 0x1_0002); // inside text, mid-instruction
+            a.li(ZERO, 0x1_0002); // discarded on purpose; the constant lints
             a.jmp(top);
         });
         assert_eq!(lints(&r), vec![Lint::SplitTextAddress]);
+    }
+
+    #[test]
+    fn dead_store_is_an_error() {
+        let r = report(|a| {
+            a.li(T0, 1); // never read again
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::DeadStore]);
+        assert!(r.findings[0].message.contains("x7"), "{r}");
+    }
+
+    #[test]
+    fn dead_store_exempts_loads_and_the_call_link_write() {
+        let r = report(|a| {
+            let f = a.label();
+            a.li(T0, 8);
+            a.ld8(T1, T0, 0); // T1 unread: the access may be the point
+            a.call(f); // RA unread: ABI write
+            a.bind(f);
+            a.halt();
+        });
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn interval_range_out_of_segment_is_an_error() {
+        let config = VerifyConfig {
+            entry_regs: vec![RegRef::Int(1)], // A0 preset by the harness
+            segments: vec![Segment { name: "data", start: 0x8000, len: 0x100 }],
+            ..VerifyConfig::default()
+        };
+        let r = report_with(
+            |a| {
+                let top = a.label();
+                a.li(T0, 0x9000);
+                a.andi(T1, A0, 0xf8); // [0, 0xf8]: bounded but unknown
+                a.add(T2, T0, T1); // [0x9000, 0x90f8]: misses "data" entirely
+                a.bind(top);
+                a.ld8(T3, T2, 0);
+                a.jmp(top);
+            },
+            &config,
+        );
+        assert_eq!(lints(&r), vec![Lint::IntervalOutOfSegment]);
+        assert!(r.findings[0].message.contains("0x9000"), "{r}");
+    }
+
+    #[test]
+    fn loop_with_every_exit_refuted_is_an_error() {
+        let r = report(|a| {
+            let (head, out) = (a.label(), a.label());
+            a.li(T0, 5);
+            a.li(T1, 0);
+            a.bind(head);
+            a.addi(T1, T1, 1);
+            a.beq(T0, ZERO, out); // T0 is always 5: the exit is fiction
+            a.jmp(head);
+            a.bind(out);
+            a.halt();
+        });
+        assert_eq!(lints(&r), vec![Lint::LoopNeverExits]);
+        assert_eq!(r.findings[0].idx, 2, "anchored at the loop header");
     }
 
     #[test]

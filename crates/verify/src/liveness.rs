@@ -1,0 +1,321 @@
+//! Backward liveness and forward reaching definitions over the CFG.
+//!
+//! Liveness is the classic backward may-analysis: a register is live at a
+//! point if some path from that point reads it before writing it. Because
+//! the CFG over-approximates indirect control flow (see
+//! [`Cfg`](crate::cfg::Cfg)), the computed live sets over-approximate the
+//! dynamic ones — which is the sound direction for the dead-store lint (a
+//! store is only reported dead if *no* static path reads it) and for the
+//! soundness harness (every dynamic read must be statically live).
+//!
+//! Reaching definitions is the dual forward analysis over definition
+//! *sites*: which instruction indices may have produced the current value
+//! of each register. The JIT's region former consumes it for rematerialization
+//! decisions; here it also backs a def-use consistency check.
+
+use crate::cfg::Cfg;
+use crate::dataflow::RegSet;
+use tinyisa::{Program, RegRef};
+
+/// Per-block and per-instruction liveness facts.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<RegSet>,
+    /// Registers live immediately *before* each instruction executes.
+    inst_live_in: Vec<RegSet>,
+    /// Registers live immediately *after* each instruction executes.
+    inst_live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `prog` over `cfg`.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
+        let insts = prog.insts();
+        let nb = cfg.blocks().len();
+
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![RegSet::EMPTY; nb];
+        let mut kill = vec![RegSet::EMPTY; nb];
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            for op in insts[b.start..b.end].iter().rev() {
+                if let Some(d) = op.def() {
+                    gen[bi].remove(d);
+                    kill[bi].insert(d);
+                }
+                for u in op.uses().iter().flatten() {
+                    gen[bi].insert(*u);
+                }
+            }
+        }
+
+        // Backward worklist: out[b] = union of in[succs]; blocks with no
+        // successors (halt, fall-off-end) have an empty out set.
+        let mut live_in = vec![RegSet::EMPTY; nb];
+        let mut live_out = vec![RegSet::EMPTY; nb];
+        let mut work: Vec<usize> = (0..nb).collect();
+        while let Some(b) = work.pop() {
+            let mut o = RegSet::EMPTY;
+            for s in &cfg.blocks()[b].succs {
+                o = o.union(live_in[*s]);
+            }
+            live_out[b] = o;
+            let i = RegSet(gen[b].0 | (o.0 & !kill[b].0));
+            if i != live_in[b] {
+                live_in[b] = i;
+                for p in &cfg.blocks()[b].preds {
+                    if !work.contains(p) {
+                        work.push(*p);
+                    }
+                }
+            }
+        }
+
+        // Per-instruction facts by a single backward walk per block.
+        let n = insts.len();
+        let mut inst_live_in = vec![RegSet::EMPTY; n];
+        let mut inst_live_out = vec![RegSet::EMPTY; n];
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            let mut live = live_out[bi];
+            for idx in (b.start..b.end).rev() {
+                inst_live_out[idx] = live;
+                if let Some(d) = insts[idx].def() {
+                    live.remove(d);
+                }
+                for u in insts[idx].uses().iter().flatten() {
+                    live.insert(*u);
+                }
+                inst_live_in[idx] = live;
+            }
+        }
+
+        Liveness { live_in, live_out, inst_live_in, inst_live_out }
+    }
+
+    /// Registers live immediately before instruction `idx` executes. Every
+    /// register `idx` reads is in this set by construction; the interesting
+    /// content is what flows through from later uses.
+    pub fn inst_live_in(&self, idx: usize) -> RegSet {
+        self.inst_live_in[idx]
+    }
+
+    /// Registers live immediately after instruction `idx` executes. A
+    /// definition at `idx` not in this set is a dead store.
+    pub fn inst_live_out(&self, idx: usize) -> RegSet {
+        self.inst_live_out[idx]
+    }
+}
+
+/// Reaching definitions: for each block, the set of definition sites
+/// (instruction indices) that may reach its entry.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// Bitset words per block, one bit per instruction index.
+    reach_in: Vec<Vec<u64>>,
+    words: usize,
+    /// `def_reg[i]` is the register instruction `i` defines, if any.
+    def_reg: Vec<Option<RegRef>>,
+}
+
+impl ReachingDefs {
+    /// Compute reaching definitions for `prog` over `cfg`.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
+        let insts = prog.insts();
+        let n = insts.len();
+        let nb = cfg.blocks().len();
+        let words = n.div_ceil(64);
+
+        let def_reg: Vec<Option<RegRef>> = insts.iter().map(|op| op.def()).collect();
+
+        // All definition sites of each unified register, for kill sets.
+        let mut sites_of: [Vec<usize>; 64] = std::array::from_fn(|_| Vec::new());
+        for (i, d) in def_reg.iter().enumerate() {
+            if let Some(r) = d {
+                sites_of[r.unified()].push(i);
+            }
+        }
+
+        // Per-block transfer as (gen, kill) bitsets.
+        let mut genb = vec![vec![0u64; words]; nb];
+        let mut killb = vec![vec![0u64; words]; nb];
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            for idx in b.start..b.end {
+                if let Some(r) = def_reg[idx] {
+                    for &site in &sites_of[r.unified()] {
+                        killb[bi][site / 64] |= 1 << (site % 64);
+                        genb[bi][site / 64] &= !(1u64 << (site % 64));
+                    }
+                    genb[bi][idx / 64] |= 1 << (idx % 64);
+                }
+            }
+        }
+
+        let mut reach_in = vec![vec![0u64; words]; nb];
+        let mut reach_out = vec![vec![0u64; words]; nb];
+        let mut work: Vec<usize> = (0..nb).collect();
+        while let Some(b) = work.pop() {
+            let mut i = vec![0u64; words];
+            for p in &cfg.blocks()[b].preds {
+                for (w, o) in i.iter_mut().zip(&reach_out[*p]) {
+                    *w |= o;
+                }
+            }
+            reach_in[b] = i.clone();
+            for w in 0..words {
+                i[w] = (i[w] & !killb[b][w]) | genb[b][w];
+            }
+            if i != reach_out[b] {
+                reach_out[b] = i;
+                for s in &cfg.blocks()[b].succs {
+                    if !work.contains(s) {
+                        work.push(*s);
+                    }
+                }
+            }
+        }
+
+        ReachingDefs { reach_in, words, def_reg }
+    }
+
+    /// The definition sites of `reg` that may reach instruction `idx`
+    /// (inside block `block`), in ascending order. Empty means the value can
+    /// only be the VM's power-on zero (or a harness preset).
+    pub fn defs_reaching(&self, cfg: &Cfg, prog: &Program, block: usize, idx: usize, reg: RegRef) -> Vec<usize> {
+        let insts = prog.insts();
+        let b = &cfg.blocks()[block];
+        debug_assert!((b.start..b.end).contains(&idx));
+        // Walk the block prefix: a def of `reg` before `idx` supersedes
+        // everything inbound.
+        let mut local: Option<usize> = None;
+        for j in b.start..idx {
+            if self.def_reg[j] == Some(reg) {
+                local = Some(j);
+            }
+        }
+        if let Some(j) = local {
+            return vec![j];
+        }
+        let mut out = Vec::new();
+        for w in 0..self.words {
+            let mut bits = self.reach_in[block][w];
+            while bits != 0 {
+                let site = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if insts[site].def() == Some(reg) {
+                    out.push(site);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::{regs::*, Asm, Program, RegRef};
+
+    fn setup(f: impl FnOnce(&mut Asm)) -> (Program, Cfg, Liveness) {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let l = Liveness::compute(&p, &cfg);
+        (p, cfg, l)
+    }
+
+    #[test]
+    fn straight_line_dead_and_live_defs() {
+        let (_, _, l) = setup(|a| {
+            a.li(T0, 1); // dead: overwritten before any read
+            a.li(T0, 2);
+            a.addi(T1, T0, 1);
+            a.halt();
+        });
+        let t0 = RegRef::Int(7);
+        assert!(!l.inst_live_out(0).contains(t0), "first li T0 is dead");
+        assert!(l.inst_live_out(1).contains(t0), "second li T0 is read");
+        assert!(l.inst_live_in(2).contains(t0));
+    }
+
+    #[test]
+    fn loop_keeps_the_induction_variable_live() {
+        let (_, cfg, l) = setup(|a| {
+            let head = a.label();
+            a.li(T0, 0);
+            a.bind(head);
+            a.addi(T0, T0, 1);
+            a.slti(T1, T0, 9);
+            a.bne(T1, ZERO, head);
+            a.halt();
+        });
+        let t0 = RegRef::Int(7);
+        let head = cfg.block_of(1);
+        assert!(l.live_in[head].contains(t0));
+        assert!(l.live_out[head].contains(t0), "loop-carried T0 stays live at the latch");
+    }
+
+    #[test]
+    fn branch_use_keeps_the_condition_live_only_up_to_the_branch() {
+        let (_, _, l) = setup(|a| {
+            let end = a.label();
+            a.li(T1, 3);
+            a.beq(T1, ZERO, end);
+            a.li(T2, 1);
+            a.bind(end);
+            a.halt();
+        });
+        let t1 = RegRef::Int(8);
+        assert!(l.inst_live_in(1).contains(t1));
+        assert!(!l.inst_live_out(1).contains(t1));
+    }
+
+    #[test]
+    fn fp_liveness_is_tracked_in_the_upper_half() {
+        let (_, _, l) = setup(|a| {
+            a.fli(F1, 2.5);
+            a.fadd(F2, F1, F1);
+            a.halt();
+        });
+        assert!(l.inst_live_out(0).contains(RegRef::Fp(1)));
+        assert!(!l.inst_live_out(1).contains(RegRef::Fp(2)), "F2 is never read");
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_joins_and_are_killed_locally() {
+        let mut a = Asm::new();
+        let (other, join) = (a.label(), a.label());
+        a.li(T0, 1); // 0
+        a.beq(T0, ZERO, other); // 1
+        a.li(T1, 7); // 2
+        a.jmp(join); // 3
+        a.bind(other);
+        a.li(T1, 9); // 4
+        a.bind(join);
+        a.add(T2, T1, T0); // 5: both defs of T1 reach
+        a.li(T1, 0); // 6
+        a.add(T3, T1, T0); // 7: only the local def reaches
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        let t1 = RegRef::Int(8);
+        let at5 = rd.defs_reaching(&cfg, &p, cfg.block_of(5), 5, t1);
+        assert_eq!(at5, vec![2, 4]);
+        let at7 = rd.defs_reaching(&cfg, &p, cfg.block_of(7), 7, t1);
+        assert_eq!(at7, vec![6]);
+    }
+
+    #[test]
+    fn use_without_any_def_has_no_reaching_sites() {
+        let mut a = Asm::new();
+        a.addi(T0, T1, 1); // T1 only holds the power-on zero
+        a.halt();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        assert!(rd.defs_reaching(&cfg, &p, 0, 0, RegRef::Int(8)).is_empty());
+    }
+}

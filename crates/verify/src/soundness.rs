@@ -1,0 +1,306 @@
+//! Dynamic refutation of the static analysis: single-step a [`Vm`] and
+//! assert, on every retired instruction, that
+//!
+//! 1. the claimed [`AbsState`](crate::AbsState) at the instruction contains
+//!    the concrete register file (interval containment for the integer
+//!    side, bit-exact equality for FP constants),
+//! 2. every register the instruction reads is statically live there,
+//! 3. every dynamic control-flow edge exists in the (indirect-refined) CFG,
+//!    and
+//! 4. entering a natural loop from outside its body goes through its
+//!    header.
+//!
+//! Any miss is a soundness bug in the analysis, not in the program — the
+//! harness exists so the abstract interpreter cannot drift from the VM's
+//! semantics unnoticed. A [`VmError`] is *not* a violation (the program
+//! itself may be broken); it is surfaced in the report for caller policy.
+
+use crate::absint::Analysis;
+use tinyisa::{FReg, Program, Reg, RunExit, TraceSink, Vm, VmError};
+
+/// Stop checking after this many violations; one real soundness bug tends
+/// to fire on every subsequent step.
+const MAX_VIOLATIONS: usize = 16;
+
+/// One refuted static claim.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Retired-instruction count when the claim failed.
+    pub step: u64,
+    /// Instruction index of the offending site.
+    pub idx: usize,
+    /// Byte address of the offending site.
+    pub pc: u64,
+    /// What was claimed and what actually happened.
+    pub message: String,
+}
+
+/// The outcome of [`check_execution`].
+#[derive(Debug, Clone, Default)]
+pub struct SoundnessReport {
+    /// Instructions retired and checked.
+    pub steps: u64,
+    /// Cross-block control-flow edges validated against the CFG.
+    pub edges_checked: u64,
+    /// Refuted claims (empty = the analysis survived this execution).
+    pub violations: Vec<Violation>,
+    /// VM fault that ended the run early, if any (not itself a violation).
+    pub vm_error: Option<VmError>,
+}
+
+impl SoundnessReport {
+    /// True when no static claim was refuted.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A sink that keeps only whether the single stepped instruction retired.
+struct OneStep(Option<tinyisa::DynInst>);
+
+impl TraceSink for OneStep {
+    fn retire(&mut self, inst: &tinyisa::DynInst) {
+        self.0 = Some(*inst);
+    }
+}
+
+/// Step `vm` for up to `fuel` retired instructions, refuting `analysis`
+/// (which must have been built for `vm`'s program and entry configuration)
+/// against the concrete execution. The `vm` should be freshly constructed:
+/// the entry-state claim assumes the VM's zeroed register file, modulo the
+/// `entry_regs` declared when the analysis was built.
+pub fn check_execution(
+    prog: &Program,
+    analysis: &Analysis,
+    vm: &mut Vm,
+    fuel: u64,
+) -> SoundnessReport {
+    let mut report = SoundnessReport::default();
+    let cfg = analysis.cfg();
+    let insts = prog.insts();
+
+    for _ in 0..fuel {
+        if report.violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+        let idx = vm.next_idx();
+        if idx >= insts.len() {
+            // About to fall off the end; let the VM report it.
+            report.vm_error = vm.run(&mut OneStep(None), 1).err();
+            break;
+        }
+        let pc = prog.pc_of(idx);
+        let violate = |report: &mut SoundnessReport, message: String| {
+            report.violations.push(Violation { step: report.steps, idx, pc, message });
+        };
+
+        // (1) containment: the claimed state holds the concrete one.
+        match analysis.inst_state(idx) {
+            None => violate(
+                &mut report,
+                "statically-unreachable instruction is about to execute".to_string(),
+            ),
+            Some(st) => {
+                for r in 1..32u8 {
+                    let concrete = vm.reg(Reg(r));
+                    if !st.int[r as usize].contains(concrete) {
+                        violate(
+                            &mut report,
+                            format!(
+                                "x{r} = {concrete:#x} escapes the claimed interval \
+                                 [{}, {}]",
+                                st.int[r as usize].lo, st.int[r as usize].hi
+                            ),
+                        );
+                    }
+                }
+                for f in 0..32u8 {
+                    let bits = vm.freg(FReg(f)).to_bits();
+                    if !st.fp[f as usize].contains(bits) {
+                        violate(
+                            &mut report,
+                            format!("f{f} = {bits:#x} contradicts the claimed FP constant"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Execute exactly this instruction.
+        let mut sink = OneStep(None);
+        let exit = vm.run(&mut sink, 1);
+        let Some(dyn_inst) = sink.0 else {
+            report.vm_error = exit.err();
+            break;
+        };
+        report.steps += 1;
+
+        // (2) liveness: every dynamic read is statically live here.
+        let live = analysis.liveness().inst_live_in(idx);
+        for src in dyn_inst.sources() {
+            if !live.contains(src) {
+                violate(
+                    &mut report,
+                    format!("read of a register not statically live: {src:?}"),
+                );
+            }
+        }
+
+        match exit {
+            Ok(RunExit::Halted) => break,
+            Err(e) => {
+                report.vm_error = Some(e);
+                break;
+            }
+            Ok(RunExit::FuelExhausted) => {}
+        }
+
+        // (3)+(4): the dynamic edge to the next instruction.
+        let next = vm.next_idx();
+        if next >= insts.len() {
+            continue; // the fall-off fault is caught at the top of the loop
+        }
+        let from_block = cfg.block_of(idx);
+        if next == idx + 1 && cfg.block_of(next) == from_block {
+            continue; // intra-block fallthrough
+        }
+        report.edges_checked += 1;
+        let to_block = cfg.block_of(next);
+        if idx != cfg.blocks()[from_block].last() {
+            violate(&mut report, "control left a block from a non-terminator".to_string());
+            continue;
+        }
+        if cfg.blocks()[to_block].start != next {
+            violate(&mut report, "control entered a block past its leader".to_string());
+            continue;
+        }
+        if !cfg.has_edge(from_block, to_block) {
+            violate(
+                &mut report,
+                format!("dynamic edge block {from_block} -> block {to_block} is not in the CFG"),
+            );
+            continue;
+        }
+        for lp in analysis.loops().chain(to_block) {
+            if !lp.contains(from_block) && to_block != lp.header {
+                violate(
+                    &mut report,
+                    format!(
+                        "entered the body of the loop headed at block {} without passing \
+                         through its header",
+                        lp.header
+                    ),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VerifyConfig;
+    use tinyisa::{regs::*, Asm};
+
+    fn check(f: impl FnOnce(&mut Asm), fuel: u64) -> SoundnessReport {
+        let mut a = Asm::new();
+        f(&mut a);
+        let prog = a.assemble().unwrap();
+        let analysis = Analysis::build(&prog, &VerifyConfig::default());
+        let mut vm = Vm::new(prog.clone());
+        check_execution(&prog, &analysis, &mut vm, fuel)
+    }
+
+    #[test]
+    fn straight_line_execution_is_sound() {
+        let r = check(
+            |a| {
+                a.li(T0, 6);
+                a.mul(T1, T0, T0);
+                a.st8(T1, T0, 2); // addr 8
+                a.halt();
+            },
+            100,
+        );
+        assert!(r.is_sound(), "{:?}", r.violations);
+        assert_eq!(r.steps, 4);
+        assert!(r.vm_error.is_none());
+    }
+
+    #[test]
+    fn loop_with_widened_counter_is_sound() {
+        let r = check(
+            |a| {
+                let head = a.label();
+                a.li(T0, 0);
+                a.li(S0, 64);
+                a.bind(head);
+                a.addi(T0, T0, 1);
+                a.blt(T0, S0, head);
+                a.halt();
+            },
+            1000,
+        );
+        assert!(r.is_sound(), "{:?}", r.violations);
+        assert!(r.edges_checked >= 63, "every latch traversal is an edge check");
+    }
+
+    #[test]
+    fn call_ret_and_fp_folding_are_sound() {
+        let r = check(
+            |a| {
+                let (f, after) = (a.label(), a.label());
+                a.fli(F0, 1.5);
+                a.call(f);
+                a.jmp(after);
+                a.bind(f);
+                a.fadd(F1, F0, F0);
+                a.fcvtfi(T0, F1);
+                a.st8(T0, ZERO, 16);
+                a.ret();
+                a.bind(after);
+                a.halt();
+            },
+            100,
+        );
+        assert!(r.is_sound(), "{:?}", r.violations);
+        assert!(r.vm_error.is_none());
+    }
+
+    #[test]
+    fn vm_fault_is_reported_but_is_not_a_violation() {
+        let r = check(
+            |a| {
+                a.li(T0, 3); // not a text address; jr faults
+                a.jr(T0);
+            },
+            10,
+        );
+        assert!(r.is_sound(), "{:?}", r.violations);
+        assert!(matches!(r.vm_error, Some(VmError::BadPc(3))));
+    }
+
+    #[test]
+    fn endless_kernel_shape_checks_until_fuel_runs_out() {
+        let r = check(
+            |a| {
+                let (outer, head) = (a.label(), a.label());
+                a.li(T0, 0);
+                a.bind(outer);
+                a.li(T1, 0);
+                a.bind(head);
+                a.add(T0, T0, T1);
+                a.addi(T1, T1, 1);
+                a.slti(T2, T1, 8);
+                a.bne(T2, ZERO, head);
+                a.jmp(outer);
+            },
+            5000,
+        );
+        assert!(r.is_sound(), "{:?}", r.violations);
+        assert_eq!(r.steps, 5000);
+        assert!(r.vm_error.is_none());
+    }
+}

@@ -405,7 +405,9 @@ pub(crate) fn dct8x8(blocks: u64, quality: u64, seed: u64) -> Result<Vm, AsmErro
 pub(crate) fn wavelet(len: u64, levels: u64, inverse: bool, seed: u64) -> Result<Vm, AsmError> {
     let mut a = Asm::new();
     a.li(S0, DATA_BASE as i64); // signal (i64)
-    a.li(S1, DATA2_BASE as i64); // detail output
+    if !inverse {
+        a.li(S1, DATA2_BASE as i64); // detail output (forward only)
+    }
     a.li(S2, len as i64);
     a.li(S3, levels.max(1) as i64);
     let outer = a.label();

@@ -30,7 +30,9 @@ pub(crate) fn raster(size: u64, tris: u64, textured: bool, seed: u64) -> Result<
     let mut a = Asm::new();
     a.li(S0, DATA_BASE as i64); // vertex buffer: 6 x i32 per triangle
     a.li(S1, DATA2_BASE as i64); // framebuffer (size x size bytes)
-    a.li(S2, DATA3_BASE as i64); // texture (256 x 256 bytes)
+    if textured {
+        a.li(S2, DATA3_BASE as i64); // texture (256 x 256 bytes)
+    }
     a.li(S3, tris as i64);
     a.li(S4, size as i64);
     let outer = a.label();
@@ -136,7 +138,9 @@ pub(crate) fn image_filter(w: u64, h: u64, kind: FilterKind, seed: u64) -> Resul
     a.li(S1, DATA2_BASE as i64); // output image
     a.li(S2, w as i64);
     a.li(S3, h as i64);
-    a.li(S4, DATA3_BASE as i64); // lookup table / error row
+    if matches!(kind, FilterKind::Median | FilterKind::Dither | FilterKind::Convert) {
+        a.li(S4, DATA3_BASE as i64); // lookup table / error row
+    }
     let outer = a.label();
     a.bind(outer);
     let (y_loop, x_loop) = (a.label(), a.label());

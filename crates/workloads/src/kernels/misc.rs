@@ -302,7 +302,6 @@ pub(crate) fn raytrace(spheres: u64, rays: u64, seed: u64) -> Result<Vm, AsmErro
     a.li(S2, DATA3_BASE as i64); // hit distances
     a.li(S3, spheres as i64);
     a.li(S4, rays as i64);
-    a.li(SP, STACK_TOP as i64);
     let (outer, r_loop, s_loop, intersect, no_hit, isect_done, keep) = (
         a.label(),
         a.label(),
@@ -410,14 +409,20 @@ pub(crate) fn queue_sched(packets: u64, kind: SchedKind, seed: u64) -> Result<Vm
     let pkt_bytes = 64u64; // descriptor: len u32, flow u32, payload 56 B
     let mut a = Asm::new();
     a.li(S0, DATA_BASE as i64); // packet trace
-    a.li(S1, DATA2_BASE as i64); // flow state table (u64 x 1024)
-    a.li(S2, DATA3_BASE as i64); // output area
+    if !matches!(kind, SchedKind::Frag) {
+        a.li(S1, DATA2_BASE as i64); // flow state table (u64 x 1024)
+    }
+    if !matches!(kind, SchedKind::Tcp) {
+        a.li(S2, DATA3_BASE as i64); // output area
+    }
     a.li(S3, packets as i64);
     let outer = a.label();
     a.bind(outer);
     let p_loop = a.label();
     a.li(T0, 0); // packet index
-    a.li(S6, 0); // output cursor
+    if !matches!(kind, SchedKind::Tcp) {
+        a.li(S6, 0); // output cursor
+    }
     a.bind(p_loop);
     a.slli(T1, T0, 6);
     a.add(T1, S0, T1); // packet base
@@ -543,6 +548,7 @@ pub(crate) fn text_layout(words: u64, line_width: u64, seed: u64) -> Result<Vm, 
     // Justify: distribute (line_width - width) over the gaps.
     let skip_just = a.label();
     a.sub(T5, S1, T1);
+    a.li(T6, 0); // justification amount for unjustifiable lines
     a.beq(T2, ZERO, skip_just);
     a.div(T6, T5, T2);
     a.rem(T7, T5, T2);
@@ -550,7 +556,7 @@ pub(crate) fn text_layout(words: u64, line_width: u64, seed: u64) -> Result<Vm, 
     a.bind(skip_just);
     a.add(T8, S2, S6);
     a.st4(T1, T8, 0);
-    a.st4(T2, T8, 4);
+    a.st4(T6, T8, 4); // record the justified slack with the line width
     a.addi(S6, S6, 8);
     a.andi(S6, S6, 0xfff);
     a.mov(T1, T3);
