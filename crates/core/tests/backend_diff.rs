@@ -253,6 +253,47 @@ proptest::proptest! {
     }
 }
 
+/// Adversarial partitions of [`Trace::replay_blocks`], pinned explicitly:
+/// size 1 (every instruction is its own block), a size strictly greater
+/// than the trace length (one giant delivery), and small odd sizes that
+/// are guaranteed to split basic blocks mid-body (the zoo's loop bodies
+/// are several instructions long, so size 3 lands a partition boundary
+/// inside a basic block on every kernel). Each must leave the analyzers
+/// bit-identical to **live** per-instruction execution — not merely to
+/// each other, so a bug shared by every replay tier cannot hide.
+#[test]
+fn adversarial_partitions_match_live_execution() {
+    for program in ["CRC32", "sha", "mcf"] {
+        let spec = benchmark_table()
+            .into_iter()
+            .find(|s| s.program == program)
+            .expect("kernel exists");
+        let name = spec.name();
+
+        let mut live = CharacterizationSuite::new();
+        let mut vm = spec.build_vm().expect("kernel assembles");
+        vm.run(&mut PerInst(&mut live), BUDGET).expect("kernel runs");
+        let reference = live.finish();
+
+        let mut rec = TraceRecorder::new();
+        let mut vm = spec.build_vm().expect("kernel assembles");
+        vm.run(&mut rec, BUDGET).expect("kernel runs");
+        let trace = rec.into_trace();
+
+        let len = trace.len();
+        assert!(len > 3, "{name}: trace long enough to partition");
+        for block_size in [1, 3, 5, len - 1, len, len + 1, 2 * len] {
+            let mut suite = CharacterizationSuite::new();
+            trace.replay_blocks(&mut suite, block_size);
+            assert_bits_eq(
+                &reference,
+                &suite.finish(),
+                &format!("{name}: adversarial partition size {block_size} vs live"),
+            );
+        }
+    }
+}
+
 /// The quarantine interaction: panic isolation must not depend on the
 /// delivery tier. A kernel that panics under the fault plan quarantines
 /// identically under `ref` and `batch`, and the 121 survivors serialize

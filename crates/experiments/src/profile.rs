@@ -19,6 +19,7 @@
 use crate::results::{BenchRecord, ProfileSet};
 use mica_core::{Backend, CharacterizationSuite, MicaVector, PerInst, NUM_METRICS};
 use mica_obs as obs;
+use mica_pmu::{KernelHeat, Pmu, PmuConfig};
 use mica_workloads::{benchmark_table, table_fingerprint, BenchmarkSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -130,6 +131,27 @@ impl TraceSink for Tandem<'_> {
     fn retire_block(&mut self, block: &[DynInst]) {
         self.mica.retire_block(block);
         self.hpc.retire_block(block);
+    }
+}
+
+/// Fan a delivery to an inner sink and a [`Pmu`] leg. The PMU is passive —
+/// it never mutates the instruction stream — so wrapping a sink in
+/// `WithPmu` cannot change what the inner sink observes, which is the
+/// whole determinism story for `MICA_PMU=1` (see `tests/pmu.rs`).
+struct WithPmu<'a, S> {
+    inner: S,
+    pmu: &'a mut Pmu,
+}
+
+impl<S: TraceSink> TraceSink for WithPmu<'_, S> {
+    fn retire(&mut self, inst: &DynInst) {
+        self.inner.retire(inst);
+        self.pmu.retire(inst);
+    }
+
+    fn retire_block(&mut self, block: &[DynInst]) {
+        self.inner.retire_block(block);
+        self.pmu.retire_block(block);
     }
 }
 
@@ -290,6 +312,56 @@ pub fn profile_benchmark_with(
     })
 }
 
+/// [`profile_benchmark_with`] with the simulated PMU riding along on the
+/// same dynamic instruction stream: one VM run produces both
+/// characterizations *and* the block-level [`KernelHeat`] profile.
+///
+/// The PMU leg is delivered on whatever partition the backend produces —
+/// per-instruction under `ref`, whole batches under `batch` — and is
+/// partition-independent by construction, so the heat artifact is
+/// identical across backends while the analyzers still exercise the tier
+/// under test.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn profile_benchmark_pmu(
+    spec: &BenchmarkSpec,
+    budget: u64,
+    backend: Backend,
+    config: PmuConfig,
+) -> Result<(BenchRecord, KernelHeat), ProfileError> {
+    let mut vm = spec.build_vm()?;
+    let mut pmu = Pmu::new(vm.program(), config);
+    let mut mica = CharacterizationSuite::new();
+    let mut hpc = HpcSimulator::new();
+    if analyzer_timing() {
+        let timed = TimedTandem { mica: &mut mica, hpc: &mut hpc, backend };
+        vm.run(&mut WithPmu { inner: timed, pmu: &mut pmu }, budget)?;
+    } else {
+        let mut tandem = Tandem { mica: &mut mica, hpc: &mut hpc };
+        let mut sink = WithPmu { inner: &mut tandem, pmu: &mut pmu };
+        match backend {
+            Backend::Ref => vm.run(&mut PerInst(&mut sink), budget)?,
+            Backend::Batch => vm.run(&mut sink, budget)?,
+        };
+    }
+    let heat = pmu.finish(&spec.name());
+    Ok((
+        BenchRecord {
+            name: spec.name(),
+            suite: spec.suite.to_string(),
+            program: spec.program.to_string(),
+            input: spec.input.to_string(),
+            paper_icount_millions: spec.paper_icount_millions,
+            executed_instructions: mica.total_instructions(),
+            mica: mica.finish(),
+            hpc: hpc.finish(),
+        },
+        heat,
+    ))
+}
+
 /// Reject scales that would produce meaningless budgets. NaN, infinities,
 /// zero, and negatives all previously slipped through the `as u64` cast
 /// (NaN casts to 0, infinity saturates) and silently profiled garbage.
@@ -355,12 +427,17 @@ pub struct ProfileOutcome {
     pub set: ProfileSet,
     /// Benchmarks removed from the run, in Table I order.
     pub quarantined: Vec<Quarantine>,
+    /// Per-kernel PMU heat profiles for the surviving benchmarks, in Table
+    /// I order. Empty unless the run was configured with a
+    /// [`PmuConfig`] (`MICA_PMU=1`) — and on cache hits, which store only
+    /// the [`ProfileSet`].
+    pub heat: Vec<KernelHeat>,
 }
 
 impl ProfileOutcome {
     /// An outcome with nothing quarantined (cache hits).
     pub fn clean(set: ProfileSet) -> ProfileOutcome {
-        ProfileOutcome { set, quarantined: Vec::new() }
+        ProfileOutcome { set, quarantined: Vec::new(), heat: Vec::new() }
     }
 
     /// Print the `QUARANTINED (n=..)` annotation on stdout (and a warn
@@ -394,18 +471,22 @@ fn inject_kernel_panic(spec: &BenchmarkSpec) {
     }
 }
 
+/// What one benchmark's isolated worker hands back: the record plus its
+/// optional heat profile, a profiling error, or a caught panic.
+type ItemOutcome = Result<Result<(BenchRecord, Option<KernelHeat>), ProfileError>, mica_par::ItemPanic>;
+
 /// Fold per-item results into surviving records plus the quarantine list,
 /// both in Table I order (so the report is scheduling-independent).
-fn finish_outcome(
-    scale: f64,
-    table: &[BenchmarkSpec],
-    results: Vec<Result<Result<BenchRecord, ProfileError>, mica_par::ItemPanic>>,
-) -> ProfileOutcome {
+fn finish_outcome(scale: f64, table: &[BenchmarkSpec], results: Vec<ItemOutcome>) -> ProfileOutcome {
     let mut records = Vec::with_capacity(results.len());
     let mut quarantined = Vec::new();
+    let mut heat = Vec::new();
     for (spec, result) in table.iter().zip(results) {
         match result {
-            Ok(Ok(rec)) => records.push(rec),
+            Ok(Ok((rec, h))) => {
+                records.push(rec);
+                heat.extend(h);
+            }
             Ok(Err(e)) => {
                 quarantined.push(Quarantine { name: spec.name(), reason: e.to_string() });
             }
@@ -419,6 +500,7 @@ fn finish_outcome(
     ProfileOutcome {
         set: ProfileSet { scale, fingerprint: profile_fingerprint(), records },
         quarantined,
+        heat,
     }
 }
 
@@ -451,6 +533,21 @@ pub fn profile_all(scale: f64) -> Result<ProfileOutcome, ProfileError> {
 ///
 /// See [`profile_all`].
 pub fn profile_all_with(scale: f64, backend: Backend) -> Result<ProfileOutcome, ProfileError> {
+    profile_all_configured(scale, backend, PmuConfig::from_env())
+}
+
+/// [`profile_all_with`] with an explicit PMU configuration (`None` runs
+/// without the PMU leg) — the determinism tests drive both states through
+/// this without racing on the process environment.
+///
+/// # Errors
+///
+/// See [`profile_all`].
+pub fn profile_all_configured(
+    scale: f64,
+    backend: Backend,
+    pmu: Option<PmuConfig>,
+) -> Result<ProfileOutcome, ProfileError> {
     validate_scale(scale)?;
     let table = benchmark_table();
     let total = table.len();
@@ -458,11 +555,14 @@ pub fn profile_all_with(scale: f64, backend: Backend) -> Result<ProfileOutcome, 
     all_span.attr("benchmarks", total as u64);
     all_span.attr("scale", scale);
     all_span.attr("backend", backend.name());
+    if let Some(cfg) = pmu {
+        all_span.attr("pmu_period", cfg.period);
+    }
     let progress = mica_par::Progress::new();
     let results = mica_par::par_map_isolated(&table, |spec| {
         inject_kernel_panic(spec);
         let budget = scaled_budget(spec, scale);
-        let rec = run_one(spec, budget, backend);
+        let rec = run_one(spec, budget, backend, pmu);
         let done = progress.tick();
         obs::info!("[{done:3}/{total}] {} ({budget} insts)", spec.name());
         rec
@@ -473,14 +573,22 @@ pub fn profile_all_with(scale: f64, backend: Backend) -> Result<ProfileOutcome, 
 /// Profile one benchmark under a per-kernel span (the span lands on the
 /// worker thread that ran it, so Chrome traces show the kernel on its
 /// pool lane) and feed the `profile.*` counters.
-fn run_one(spec: &BenchmarkSpec, budget: u64, backend: Backend) -> Result<BenchRecord, ProfileError> {
+fn run_one(
+    spec: &BenchmarkSpec,
+    budget: u64,
+    backend: Backend,
+    pmu: Option<PmuConfig>,
+) -> Result<(BenchRecord, Option<KernelHeat>), ProfileError> {
     let started = std::time::Instant::now();
     let mut span = obs::span("profile", spec.name());
     span.attr("budget", budget);
-    let rec = profile_benchmark_with(spec, budget, backend);
+    let rec = match pmu {
+        Some(cfg) => profile_benchmark_pmu(spec, budget, backend, cfg).map(|(r, h)| (r, Some(h))),
+        None => profile_benchmark_with(spec, budget, backend).map(|r| (r, None)),
+    };
     KERNELS.incr();
     KERNEL_US.record(started.elapsed().as_micros() as u64);
-    if let Ok(r) = &rec {
+    if let Ok((r, _)) = &rec {
         INSTS.add(r.executed_instructions);
         span.attr("insts", r.executed_instructions);
     }
@@ -510,7 +618,7 @@ pub fn profile_all_serial_with(scale: f64, backend: Backend) -> Result<ProfileSe
         .map(|(i, spec)| {
             let budget = scaled_budget(spec, scale);
             obs::info!("[{:3}/{}] {} ({budget} insts)", i + 1, table.len(), spec.name());
-            run_one(spec, budget, backend)
+            run_one(spec, budget, backend, None).map(|(r, _)| r)
         })
         .collect();
     finish_set(scale, results)

@@ -86,6 +86,10 @@ pub struct RunSummary {
     /// Analyzer backend the run used (`MICA_BACKEND`): `"ref"` or
     /// `"batch"`. Baselines only compare runs on the same backend.
     pub backend: String,
+    /// Sampling period of the simulated PMU when the run profiled with
+    /// `MICA_PMU=1`, `None` when the PMU was off. Recorded so a heat
+    /// artifact can always be traced back to the period that produced it.
+    pub pmu_period: Option<u64>,
     /// Fingerprint of the benchmark table the binaries were built with.
     pub table_fingerprint: u64,
     /// Total wall-clock seconds from [`Runner::new`] to [`Runner::finish`].
@@ -182,6 +186,7 @@ impl Runner {
             scale: crate::scale(),
             threads: mica_par::num_threads() as u64,
             backend: mica_core::Backend::from_env().name().to_string(),
+            pmu_period: mica_pmu::PmuConfig::from_env().map(|c| c.period),
             table_fingerprint: mica_workloads::table_fingerprint(),
             wall_s: started.elapsed().as_secs_f64(),
             stages,

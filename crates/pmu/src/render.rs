@@ -1,0 +1,210 @@
+//! Renderings of [`KernelHeat`] profiles: a text heat table, a collapsed-
+//! stack flamegraph export, and a self-contained SVG heat strip.
+//!
+//! All three are pure functions of the artifact data — rendering a saved
+//! `results/heat/*.json` reproduces the run's view exactly.
+
+use crate::{BlockHeat, KernelHeat};
+use std::fmt::Write as _;
+
+/// The top-`k` hottest blocks of `heat` (by samples, then retired), as an
+/// aligned text table joining dynamic hotness with static loop context.
+pub fn render_text(heat: &KernelHeat, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} — {} retired, {} samples @ period {}",
+        heat.kernel, heat.retired, heat.samples, heat.period
+    );
+    let _ = writeln!(
+        out,
+        "  branches {} taken / {} not taken; memory {} B read / {} B written",
+        heat.taken_branches, heat.not_taken_branches, heat.mem_read_bytes, heat.mem_write_bytes
+    );
+    let mut blocks: Vec<&BlockHeat> = heat.blocks.iter().collect();
+    blocks.sort_by(|a, b| {
+        b.samples.cmp(&a.samples).then(b.retired.cmp(&a.retired)).then(a.pc.cmp(&b.pc))
+    });
+    let _ = writeln!(
+        out,
+        "  {:>10}  {:>6}  {:>9}  {:>8}  {:>7}  {:>5}  mix",
+        "block", "share", "retired", "hits", "samples", "depth"
+    );
+    for b in blocks.iter().take(k) {
+        let mut mix: Vec<(&String, &usize)> = b.static_mix.iter().collect();
+        mix.sort_by(|x, y| y.1.cmp(x.1).then(x.0.cmp(y.0)));
+        let mix: Vec<String> = mix.iter().map(|(c, n)| format!("{c}:{n}")).collect();
+        let _ = writeln!(
+            out,
+            "  {:#10x}  {:>5.1}%  {:>9}  {:>8}  {:>7}  {:>5}  {}",
+            b.pc,
+            b.share * 100.0,
+            b.retired,
+            b.hits,
+            b.samples,
+            b.loop_depth,
+            mix.join(" ")
+        );
+    }
+    out
+}
+
+/// Collapsed-stack flamegraph lines for standard flamegraph tooling: one
+/// line per sampled block, `kernel;loop@0xH;...;block@0xPC count`, with
+/// the loop-nest chain (outermost-first) as the stack.
+pub fn collapsed_stacks(heats: &[KernelHeat]) -> String {
+    let mut out = String::new();
+    for heat in heats {
+        for b in &heat.blocks {
+            if b.samples == 0 {
+                continue;
+            }
+            let mut frames = vec![heat.kernel.clone()];
+            frames.extend(b.loop_chain.iter().map(|h| format!("loop@{h:#x}")));
+            frames.push(format!("block@{:#x}", b.pc));
+            let _ = writeln!(out, "{} {}", frames.join(";"), b.samples);
+        }
+    }
+    out
+}
+
+/// Linear red-yellow heat color for a share in `[0, 1]`.
+fn heat_color(share: f64) -> String {
+    let s = share.clamp(0.0, 1.0);
+    let g = (230.0 - 180.0 * s) as u32;
+    format!("#e6{g:02x}32")
+}
+
+/// A self-contained SVG heat strip: one row per kernel, each block drawn
+/// with width proportional to its share of the kernel's retired
+/// instructions and color intensity by that share. Every block carries a
+/// `<title>` tooltip with its pc, share, and loop depth.
+pub fn render_svg(heats: &[KernelHeat]) -> String {
+    const WIDTH: f64 = 860.0;
+    const LABEL: f64 = 220.0;
+    const ROW: f64 = 18.0;
+    const PAD: f64 = 2.0;
+    let height = 24.0 + heats.len() as f64 * ROW;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">"
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"4\" y=\"14\">block-level heat by share of retired instructions</text>"
+    );
+    for (row, heat) in heats.iter().enumerate() {
+        let y = 24.0 + row as f64 * ROW;
+        let _ = writeln!(
+            out,
+            "  <text x=\"4\" y=\"{:.1}\">{}</text>",
+            y + ROW - 6.0,
+            xml_escape(&heat.kernel)
+        );
+        let mut x = LABEL;
+        let span = WIDTH - LABEL - 4.0;
+        for b in &heat.blocks {
+            let w = (b.share * span).max(0.5);
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{}\"><title>{} block {:#x}: {:.1}% retired, {} samples, \
+                 loop depth {}</title></rect>",
+                x,
+                y + PAD,
+                w,
+                ROW - 2.0 * PAD,
+                heat_color(b.share),
+                xml_escape(&heat.kernel),
+                b.pc,
+                b.share * 100.0,
+                b.samples,
+                b.loop_depth
+            );
+            x += w;
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn heat() -> KernelHeat {
+        KernelHeat {
+            kernel: "suite/prog/in".to_string(),
+            period: 100,
+            retired: 1000,
+            samples: 10,
+            taken_branches: 90,
+            not_taken_branches: 10,
+            mem_read_bytes: 512,
+            mem_write_bytes: 256,
+            class_counts: BTreeMap::from([("IntAlu".to_string(), 1000)]),
+            blocks: vec![
+                BlockHeat {
+                    pc: 0x1_0000,
+                    first_idx: 0,
+                    insts: 3,
+                    hits: 1,
+                    retired: 100,
+                    samples: 0,
+                    share: 0.1,
+                    loop_depth: 0,
+                    loop_chain: vec![],
+                    static_mix: BTreeMap::from([("IntAlu".to_string(), 3)]),
+                },
+                BlockHeat {
+                    pc: 0x1_000c,
+                    first_idx: 3,
+                    insts: 5,
+                    hits: 180,
+                    retired: 900,
+                    samples: 10,
+                    share: 0.9,
+                    loop_depth: 2,
+                    loop_chain: vec![0x1_0004, 0x1_000c],
+                    static_mix: BTreeMap::from([("IntAlu".to_string(), 5)]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_orders_by_samples_and_joins_static_context() {
+        let text = render_text(&heat(), 10);
+        let hot = text.find("0x1000c").expect("hot block listed");
+        let cold = text.find("0x10000").expect("cold block listed");
+        assert!(hot < cold, "hottest first");
+        assert!(text.contains("90.0%"));
+        assert!(text.contains("IntAlu:5"));
+    }
+
+    #[test]
+    fn collapsed_stacks_use_the_loop_chain() {
+        let lines = collapsed_stacks(&[heat()]);
+        assert_eq!(
+            lines.trim(),
+            "suite/prog/in;loop@0x10004;loop@0x1000c;block@0x1000c 10",
+            "only the sampled block appears, under its loop nest"
+        );
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_scales_by_share() {
+        let svg = render_svg(&[heat()]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert!(svg.contains("loop depth 2"));
+    }
+}

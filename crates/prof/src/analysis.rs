@@ -15,6 +15,7 @@
 
 use crate::trace::{FlushInfo, SpanNode, SpanRec, Trace};
 use mica_experiments::runner::RunSummary;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One stage of the run, with its share of total wall time.
@@ -564,4 +565,135 @@ pub fn render(a: &Analysis) -> String {
 pub fn median(values: &[f64]) -> f64 {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
     median_f64(&mut v)
+}
+
+/// Machine-readable mirror of [`Analysis`] for `mica-prof analyze --json`.
+///
+/// A separate type (rather than `Serialize` on [`Analysis`]) so the JSON
+/// schema is an explicit, stable contract: quantile triples become named
+/// fields, span indices and other internal bookkeeping stay out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonReport {
+    /// Binary name, when known.
+    pub bin: Option<String>,
+    /// Run wall seconds, when known.
+    pub wall_s: Option<f64>,
+    /// Whether the trace is provably incomplete.
+    pub truncated: bool,
+    /// Unparseable lines skipped while loading the trace.
+    pub skipped_lines: u64,
+    /// Stage decomposition, in execution order.
+    pub stages: Vec<JsonStage>,
+    /// Critical path, root first.
+    pub critical_path: Vec<JsonCritStep>,
+    /// Kernel spans observed.
+    pub kernel_count: u64,
+    /// Exact kernel-latency quantiles, microseconds.
+    pub kernel_p50_us: Option<u64>,
+    /// 95th percentile.
+    pub kernel_p95_us: Option<u64>,
+    /// 99th percentile.
+    pub kernel_p99_us: Option<u64>,
+    /// Most expensive kernels, descending, capped at ten.
+    pub kernels_top: Vec<JsonKernel>,
+    /// Every summary counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-analyzer delivery wall time, descending.
+    pub analyzer_us: Vec<(String, u64)>,
+    /// `profile.cache.hit / (hit + miss*)`, when the counters exist.
+    pub cache_hit_ratio: Option<f64>,
+    /// Σ of `fault.*` injection counters.
+    pub fault_injections: u64,
+    /// Σ of dropped-record counters.
+    pub dropped_records: u64,
+}
+
+/// One stage in a [`JsonReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonStage {
+    /// Stage name.
+    pub name: String,
+    /// Stage wall-clock seconds.
+    pub wall_s: f64,
+    /// Fraction of the run's wall time.
+    pub frac: f64,
+}
+
+/// One critical-path step in a [`JsonReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonCritStep {
+    /// Span category.
+    pub cat: String,
+    /// Span name.
+    pub name: String,
+    /// Logical thread the span ran on.
+    pub tid: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+    /// Duration not covered by the next step down, microseconds.
+    pub self_us: u64,
+}
+
+/// One hot kernel in a [`JsonReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonKernel {
+    /// Benchmark name.
+    pub name: String,
+    /// Profiling duration, microseconds.
+    pub dur_us: u64,
+    /// Allocations charged to the span, when tracked.
+    pub alloc_n: Option<u64>,
+    /// Bytes charged to the span, when tracked.
+    pub alloc_b: Option<u64>,
+}
+
+impl JsonReport {
+    /// Project an [`Analysis`] onto the stable JSON schema.
+    pub fn from_analysis(a: &Analysis) -> JsonReport {
+        let (p50, p95, p99) = match a.kernel_quantiles_us {
+            Some((p50, p95, p99)) => (Some(p50), Some(p95), Some(p99)),
+            None => (None, None, None),
+        };
+        JsonReport {
+            bin: a.bin.clone(),
+            wall_s: a.wall_s,
+            truncated: a.truncated,
+            skipped_lines: a.skipped_lines as u64,
+            stages: a
+                .stages
+                .iter()
+                .map(|s| JsonStage { name: s.name.clone(), wall_s: s.wall_s, frac: s.frac })
+                .collect(),
+            critical_path: a
+                .critical_path
+                .iter()
+                .map(|c| JsonCritStep {
+                    cat: c.cat.clone(),
+                    name: c.name.clone(),
+                    tid: c.tid,
+                    dur_us: c.dur_us,
+                    self_us: c.self_us,
+                })
+                .collect(),
+            kernel_count: a.kernel_count as u64,
+            kernel_p50_us: p50,
+            kernel_p95_us: p95,
+            kernel_p99_us: p99,
+            kernels_top: a
+                .kernels_top
+                .iter()
+                .map(|k| JsonKernel {
+                    name: k.name.clone(),
+                    dur_us: k.dur_us,
+                    alloc_n: k.alloc_n,
+                    alloc_b: k.alloc_b,
+                })
+                .collect(),
+            counters: a.counters.clone(),
+            analyzer_us: a.analyzer_us.clone(),
+            cache_hit_ratio: a.cache_hit_ratio,
+            fault_injections: a.fault_injections,
+            dropped_records: a.dropped_records,
+        }
+    }
 }

@@ -1,41 +1,50 @@
 //! The `mica-prof` command-line front end.
 //!
 //! ```text
-//! mica-prof analyze --events FILE [--summary FILE] [--out FILE]
-//! mica-prof record  --summary FILE --baseline FILE [--label STR]
-//! mica-prof check   --summary FILE --baseline FILE
-//!                   [--max-ratio R] [--min-abs-s S]
+//! mica-prof analyze   --events FILE [--summary FILE] [--out FILE] [--json FILE]
+//! mica-prof record    --summary FILE --baseline FILE [--label STR]
+//! mica-prof check     --summary FILE --baseline FILE
+//!                     [--max-ratio R] [--min-abs-s S]
+//! mica-prof heat      --dir DIR [--top K] [--svg FILE]
+//! mica-prof heat-diff BEFORE AFTER [--threshold T]
 //! ```
 //!
 //! Exit codes: 0 success / gate passed, 1 usage or I/O error, 2 the gate
-//! found a performance regression (the report names the regressed stage).
+//! found a performance regression or `heat-diff` found hotspot drift.
 
 use mica_experiments::runner::RunSummary;
 use mica_prof::analysis;
 use mica_prof::baseline::{check, has_regression, render_findings, Baseline, CheckConfig};
+use mica_prof::heat;
 use mica_prof::trace::Trace;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  mica-prof analyze --events FILE [--summary FILE] [--out FILE]
-  mica-prof record  --summary FILE --baseline FILE [--label STR]
-  mica-prof check   --summary FILE --baseline FILE [--max-ratio R] [--min-abs-s S]
+  mica-prof analyze   --events FILE [--summary FILE] [--out FILE] [--json FILE]
+  mica-prof record    --summary FILE --baseline FILE [--label STR]
+  mica-prof check     --summary FILE --baseline FILE [--max-ratio R] [--min-abs-s S]
+  mica-prof heat      --dir DIR [--top K] [--svg FILE]
+  mica-prof heat-diff BEFORE AFTER [--threshold T]
 
-exit codes: 0 ok, 1 usage/io error, 2 performance regression";
+exit codes: 0 ok, 1 usage/io error, 2 performance regression / hotspot drift";
 
-/// Flag parser over `--key value` / `--key=value` pairs.
+/// Flag parser over `--key value` / `--key=value` pairs, plus bare
+/// positional operands (`heat-diff BEFORE AFTER`).
 struct Args {
     pairs: Vec<(String, String)>,
+    free: Vec<String>,
 }
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
         let mut pairs = Vec::new();
+        let mut free = Vec::new();
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument {arg:?}"));
+                free.push(arg.clone());
+                continue;
             };
             if let Some((k, v)) = key.split_once('=') {
                 pairs.push((k.to_string(), v.to_string()));
@@ -44,7 +53,7 @@ impl Args {
                 pairs.push((key.to_string(), v.clone()));
             }
         }
-        Ok(Args { pairs })
+        Ok(Args { pairs, free })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -58,6 +67,14 @@ impl Args {
     fn require_path(&self, key: &str) -> Result<PathBuf, String> {
         self.path(key).ok_or_else(|| format!("--{key} is required"))
     }
+
+    /// Reject stray positional operands for commands that take none.
+    fn no_free(&self) -> Result<(), String> {
+        match self.free.first() {
+            Some(arg) => Err(format!("unexpected argument {arg:?}")),
+            None => Ok(()),
+        }
+    }
 }
 
 fn load_summary(path: &std::path::Path) -> Result<RunSummary, String> {
@@ -68,6 +85,7 @@ fn load_summary(path: &std::path::Path) -> Result<RunSummary, String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
+    args.no_free()?;
     let events = args.require_path("events")?;
     let trace = Trace::load(&events)
         .map_err(|e| format!("cannot read events {}: {e}", events.display()))?;
@@ -75,13 +93,60 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
         Some(p) => Some(load_summary(&p)?),
         None => None,
     };
-    let report = analysis::render(&analysis::analyze(&trace, summary.as_ref()));
+    let a = analysis::analyze(&trace, summary.as_ref());
+    if let Some(json_path) = args.path("json") {
+        let json = serde_json::to_string_pretty(&analysis::JsonReport::from_analysis(&a))
+            .expect("JsonReport serializes");
+        mica_fault::io::atomic_write_retry("prof-json", &json_path, json.as_bytes())
+            .map_err(|e| format!("cannot write JSON report {}: {e}", json_path.display()))?;
+    }
+    let report = analysis::render(&a);
     match args.path("out") {
         Some(out) => std::fs::write(&out, &report)
             .map_err(|e| format!("cannot write report {}: {e}", out.display()))?,
         None => print!("{report}"),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_heat(args: &Args) -> Result<ExitCode, String> {
+    args.no_free()?;
+    let dir = args.require_path("dir")?;
+    let top = match args.get("top") {
+        Some(k) => k.parse().map_err(|_| format!("bad --top {k:?}"))?,
+        None => 5,
+    };
+    let heats = heat::load_dir(&dir)?;
+    for h in &heats {
+        print!("{}", mica_pmu::render_text(h, top));
+    }
+    if let Some(svg_path) = args.path("svg") {
+        let svg = mica_pmu::render_svg(&heats);
+        mica_fault::io::atomic_write_retry("prof-svg", &svg_path, svg.as_bytes())
+            .map_err(|e| format!("cannot write heat map {}: {e}", svg_path.display()))?;
+        println!("heat map -> {}", svg_path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_heat_diff(args: &Args) -> Result<ExitCode, String> {
+    let [before_dir, after_dir] = args.free.as_slice() else {
+        return Err("heat-diff needs exactly two heat directories".to_string());
+    };
+    let threshold = match args.get("threshold") {
+        Some(t) => t.parse().map_err(|_| format!("bad --threshold {t:?}"))?,
+        None => heat::DEFAULT_THRESHOLD,
+    };
+    let before = heat::load_dir(std::path::Path::new(before_dir))?;
+    let after = heat::load_dir(std::path::Path::new(after_dir))?;
+    let report = heat::diff(&before, &after, threshold);
+    print!("{}", heat::render_diff(&report, threshold));
+    if report.has_drift() {
+        eprintln!("mica-prof: hotspot drift detected");
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn unix_now() -> u64 {
@@ -92,6 +157,7 @@ fn unix_now() -> u64 {
 }
 
 fn cmd_record(args: &Args) -> Result<ExitCode, String> {
+    args.no_free()?;
     let summary = load_summary(&args.require_path("summary")?)?;
     let path = args.require_path("baseline")?;
     let label = args.get("label").unwrap_or("local");
@@ -107,6 +173,7 @@ fn cmd_record(args: &Args) -> Result<ExitCode, String> {
 }
 
 fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    args.no_free()?;
     let summary = load_summary(&args.require_path("summary")?)?;
     let path = args.require_path("baseline")?;
     let mut cfg = CheckConfig::default();
@@ -138,6 +205,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "record" => cmd_record(&args),
         "check" => cmd_check(&args),
+        "heat" => cmd_heat(&args),
+        "heat-diff" => cmd_heat_diff(&args),
         other => Err(format!("unknown command {other:?}")),
     });
     match run {

@@ -1,0 +1,237 @@
+//! Offline views over the PMU heat artifacts (`results/heat/*.json`).
+//!
+//! `mica-prof heat` renders the top-K hot blocks of every kernel in a
+//! heat directory; `mica-prof heat-diff A B` compares two directories and
+//! flags blocks whose share of retired instructions shifted beyond a
+//! threshold — the cross-run hotspot story: a kernel whose inner loop
+//! grew two points of share between commits is exactly the regression the
+//! wall-clock gate is too coarse to localize.
+//!
+//! Everything here is a pure function of the artifacts; the PMU's
+//! determinism contract (see `crates/pmu`) makes a clean diff of two
+//! clean runs empty by construction.
+
+use mica_pmu::KernelHeat;
+use std::path::Path;
+
+/// Default share-shift threshold for [`diff`]: two points of a kernel's
+/// retired instructions.
+pub const DEFAULT_THRESHOLD: f64 = 0.02;
+
+/// Load every `*.json` heat artifact under `dir`, sorted by kernel name
+/// so output order is directory-listing independent. Non-JSON files
+/// (the flamegraph and SVG live in the same directory) are skipped.
+///
+/// # Errors
+///
+/// A message naming the path when the directory cannot be read, a file
+/// cannot be read, or an artifact does not parse — a torn heat artifact
+/// should fail loudly, not vanish from the report.
+pub fn load_dir(dir: &Path) -> Result<Vec<KernelHeat>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read heat directory {}: {e}", dir.display()))?;
+    let mut heats = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read heat artifact {}: {e}", path.display()))?;
+        let heat = KernelHeat::from_json(&text)
+            .map_err(|e| format!("heat artifact {} does not parse: {e}", path.display()))?;
+        heats.push(heat);
+    }
+    if heats.is_empty() {
+        return Err(format!("no heat artifacts (*.json) in {}", dir.display()));
+    }
+    heats.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+    Ok(heats)
+}
+
+/// One block whose share of its kernel's retired instructions moved
+/// beyond the threshold between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Full `suite/program/input` kernel name.
+    pub kernel: String,
+    /// Block leader pc.
+    pub pc: u64,
+    /// Share in the `before` run (0 when the block did not execute).
+    pub before: f64,
+    /// Share in the `after` run (0 when the block did not execute).
+    pub after: f64,
+}
+
+impl Drift {
+    /// Signed share shift, `after - before`.
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+}
+
+/// What [`diff`] found between two heat directories.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    /// Blocks whose share shifted by more than the threshold, ordered by
+    /// kernel name then descending absolute shift.
+    pub drifted: Vec<Drift>,
+    /// Kernels present only in the `before` run.
+    pub only_before: Vec<String>,
+    /// Kernels present only in the `after` run.
+    pub only_after: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether anything moved: a drifted block or a kernel that appeared
+    /// or disappeared.
+    pub fn has_drift(&self) -> bool {
+        !self.drifted.is_empty() || !self.only_before.is_empty() || !self.only_after.is_empty()
+    }
+}
+
+/// Compare two runs' heat profiles block by block. Kernels are matched by
+/// name, blocks by leader pc; a block absent from one side counts as
+/// share 0 there, so a loop that stopped (or started) executing shows up
+/// as a full-size shift rather than being silently dropped.
+pub fn diff(before: &[KernelHeat], after: &[KernelHeat], threshold: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for b in before {
+        let Some(a) = after.iter().find(|a| a.kernel == b.kernel) else {
+            report.only_before.push(b.kernel.clone());
+            continue;
+        };
+        let mut pcs: Vec<u64> = b.blocks.iter().chain(&a.blocks).map(|blk| blk.pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        let share = |heat: &KernelHeat, pc: u64| {
+            heat.blocks.iter().find(|blk| blk.pc == pc).map_or(0.0, |blk| blk.share)
+        };
+        let mut drifted: Vec<Drift> = pcs
+            .into_iter()
+            .filter_map(|pc| {
+                let d = Drift {
+                    kernel: b.kernel.clone(),
+                    pc,
+                    before: share(b, pc),
+                    after: share(a, pc),
+                };
+                (d.delta().abs() > threshold).then_some(d)
+            })
+            .collect();
+        drifted.sort_by(|x, y| {
+            y.delta().abs().partial_cmp(&x.delta().abs()).expect("finite").then(x.pc.cmp(&y.pc))
+        });
+        report.drifted.extend(drifted);
+    }
+    for a in after {
+        if !before.iter().any(|b| b.kernel == a.kernel) {
+            report.only_after.push(a.kernel.clone());
+        }
+    }
+    report
+}
+
+/// Render a [`DiffReport`] as the text `mica-prof heat-diff` prints.
+pub fn render_diff(report: &DiffReport, threshold: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if !report.has_drift() {
+        let _ = writeln!(out, "no hotspot drift beyond {:.1}% share", threshold * 100.0);
+        return out;
+    }
+    for k in &report.only_before {
+        let _ = writeln!(out, "DRIFT {k}: kernel missing from the after run");
+    }
+    for k in &report.only_after {
+        let _ = writeln!(out, "DRIFT {k}: kernel new in the after run");
+    }
+    for d in &report.drifted {
+        let _ = writeln!(
+            out,
+            "DRIFT {} block {:#x}: share {:.1}% -> {:.1}% ({:+.1} points)",
+            d.kernel,
+            d.pc,
+            d.before * 100.0,
+            d.after * 100.0,
+            d.delta() * 100.0,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mica_pmu::BlockHeat;
+    use std::collections::BTreeMap;
+
+    fn heat(kernel: &str, shares: &[(u64, f64)]) -> KernelHeat {
+        KernelHeat {
+            kernel: kernel.to_string(),
+            period: 101,
+            retired: 1000,
+            samples: 9,
+            taken_branches: 0,
+            not_taken_branches: 0,
+            mem_read_bytes: 0,
+            mem_write_bytes: 0,
+            class_counts: BTreeMap::new(),
+            blocks: shares
+                .iter()
+                .map(|&(pc, share)| BlockHeat {
+                    pc,
+                    first_idx: 0,
+                    insts: 1,
+                    hits: 1,
+                    retired: (share * 1000.0) as u64,
+                    samples: 1,
+                    share,
+                    loop_depth: 0,
+                    loop_chain: Vec::new(),
+                    static_mix: BTreeMap::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_have_no_drift() {
+        let a = [heat("m/a/x", &[(0x10, 0.7), (0x20, 0.3)])];
+        let report = diff(&a, &a, DEFAULT_THRESHOLD);
+        assert!(!report.has_drift());
+        assert!(render_diff(&report, DEFAULT_THRESHOLD).contains("no hotspot drift"));
+    }
+
+    #[test]
+    fn share_shifts_beyond_threshold_are_flagged_largest_first() {
+        let before = [heat("m/a/x", &[(0x10, 0.70), (0x20, 0.30)])];
+        let after = [heat("m/a/x", &[(0x10, 0.55), (0x20, 0.40), (0x30, 0.05)])];
+        let report = diff(&before, &after, DEFAULT_THRESHOLD);
+        let pcs: Vec<u64> = report.drifted.iter().map(|d| d.pc).collect();
+        assert_eq!(pcs, vec![0x10, 0x20, 0x30], "descending |delta|");
+        assert!(report.drifted[0].delta() < 0.0);
+        let text = render_diff(&report, DEFAULT_THRESHOLD);
+        assert!(text.contains("DRIFT m/a/x block 0x10"));
+        assert!(text.contains("-15.0 points"));
+    }
+
+    #[test]
+    fn sub_threshold_noise_is_ignored() {
+        let before = [heat("m/a/x", &[(0x10, 0.70), (0x20, 0.30)])];
+        let after = [heat("m/a/x", &[(0x10, 0.69), (0x20, 0.31)])];
+        assert!(!diff(&before, &after, DEFAULT_THRESHOLD).has_drift());
+    }
+
+    #[test]
+    fn appearing_and_disappearing_kernels_are_reported() {
+        let before = [heat("m/a/x", &[(0x10, 1.0)]), heat("m/b/y", &[(0x10, 1.0)])];
+        let after = [heat("m/a/x", &[(0x10, 1.0)]), heat("m/c/z", &[(0x10, 1.0)])];
+        let report = diff(&before, &after, DEFAULT_THRESHOLD);
+        assert_eq!(report.only_before, vec!["m/b/y".to_string()]);
+        assert_eq!(report.only_after, vec!["m/c/z".to_string()]);
+        assert!(report.drifted.is_empty());
+        assert!(report.has_drift());
+    }
+}

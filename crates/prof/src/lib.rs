@@ -13,14 +13,20 @@
 //!   allocation attribution from `MICA_ALLOC` span deltas;
 //! - [`baseline`] maintains the `BENCH_pipeline.json` performance
 //!   trajectory and implements the noise-aware regression gate
-//!   (median-of-N baseline, relative × absolute thresholds).
+//!   (median-of-N baseline, relative × absolute thresholds);
+//! - [`heat`] loads the PMU heat artifacts (`results/heat/*.json`,
+//!   written by `MICA_PMU=1` profiling runs) and diffs hotspot shares
+//!   across runs.
 //!
-//! The `mica-prof` binary fronts all three: `analyze` renders a report,
-//! `record` appends a run to the trajectory, `check` gates CI (exit 0
-//! clean, 1 usage/IO error, 2 regression).
+//! The `mica-prof` binary fronts all four: `analyze` renders a report
+//! (`--json` for the machine-readable [`analysis::JsonReport`]), `record`
+//! appends a run to the trajectory, `check` gates CI, `heat` shows the
+//! hottest blocks per kernel, and `heat-diff` flags share drift (exit 0
+//! clean, 1 usage/IO error, 2 regression/drift).
 
 pub mod analysis;
 pub mod baseline;
+pub mod heat;
 pub mod trace;
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ fn summary() -> RunSummary {
         scale: 1.0,
         threads: 2,
         backend: "ref".to_string(),
+        pmu_period: None,
         table_fingerprint: 0xfeed,
         wall_s: 0.001,
         stages: vec![StageSummary { name: "profile".to_string(), wall_s: 0.001 }],

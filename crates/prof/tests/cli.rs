@@ -1,0 +1,182 @@
+//! End-to-end tests of the `mica-prof` binary's non-gate commands:
+//! `analyze` error handling and `--json` output, `heat`, and the
+//! `heat-diff` drift detector.
+
+use mica_pmu::{BlockHeat, KernelHeat};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Run {
+    code: i32,
+    stdout: String,
+    stderr: String,
+}
+
+fn run(args: &[&str]) -> Run {
+    let out = Command::new(env!("CARGO_BIN_EXE_mica-prof"))
+        .args(args)
+        .output()
+        .expect("mica-prof runs");
+    Run {
+        code: out.status.code().expect("exit code"),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mica_prof_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A minimal but complete events stream: run > stage > kernel span plus a
+/// consistent flush record, so the trace is not truncated.
+fn events_text() -> String {
+    [
+        "{\"t\":\"span\",\"ts_us\":10,\"dur_us\":80,\"tid\":0,\"depth\":2,\
+         \"cat\":\"profile\",\"name\":\"MiBench/CRC32/pcm\",\"attrs\":{}}",
+        "{\"t\":\"span\",\"ts_us\":5,\"dur_us\":90,\"tid\":0,\"depth\":1,\
+         \"cat\":\"stage\",\"name\":\"profile\",\"attrs\":{}}",
+        "{\"t\":\"span\",\"ts_us\":0,\"dur_us\":100,\"tid\":0,\"depth\":0,\
+         \"cat\":\"run\",\"name\":\"profile\",\"attrs\":{}}",
+        "{\"t\":\"flush\",\"events\":0,\"spans\":3,\"dropped_lines\":0}",
+    ]
+    .join("\n")
+        + "\n"
+}
+
+fn heat(kernel: &str, shares: &[(u64, f64)]) -> KernelHeat {
+    let retired: u64 = shares.iter().map(|&(_, s)| (s * 1000.0) as u64).sum();
+    KernelHeat {
+        kernel: kernel.to_string(),
+        period: 101,
+        retired,
+        samples: shares.len() as u64,
+        taken_branches: 7,
+        not_taken_branches: 3,
+        mem_read_bytes: 64,
+        mem_write_bytes: 32,
+        class_counts: BTreeMap::from([("IntAlu".to_string(), retired)]),
+        blocks: shares
+            .iter()
+            .map(|&(pc, share)| BlockHeat {
+                pc,
+                first_idx: 0,
+                insts: 4,
+                hits: 2,
+                retired: (share * 1000.0) as u64,
+                samples: 1,
+                share,
+                loop_depth: 1,
+                loop_chain: vec![pc],
+                static_mix: BTreeMap::from([("IntAlu".to_string(), 4)]),
+            })
+            .collect(),
+    }
+}
+
+fn write_heat_dir(dir: &Path, heats: &[KernelHeat]) {
+    std::fs::create_dir_all(dir).unwrap();
+    for h in heats {
+        let path = dir.join(format!("{}.json", KernelHeat::file_stem(&h.kernel)));
+        std::fs::write(path, h.to_json()).unwrap();
+    }
+    // The real heat directory also holds non-JSON renderings; the loader
+    // must skip them rather than choke.
+    std::fs::write(dir.join("flamegraph.collapsed"), "k;block@0x10 1\n").unwrap();
+}
+
+#[test]
+fn analyze_on_a_missing_events_file_exits_nonzero_and_names_the_path() {
+    let missing = temp_dir("absent").join("no-such-events.jsonl");
+    let r = run(&["analyze", "--events", missing.to_str().unwrap()]);
+    assert_eq!(r.code, 1, "stderr:\n{}", r.stderr);
+    assert!(
+        r.stderr.contains("no-such-events.jsonl"),
+        "error must name the offending path:\n{}",
+        r.stderr
+    );
+    assert!(r.stderr.contains("cannot read events"), "{}", r.stderr);
+}
+
+#[test]
+fn analyze_json_writes_a_parseable_machine_report() {
+    let dir = temp_dir("json");
+    let events = dir.join("events.jsonl");
+    std::fs::write(&events, events_text()).unwrap();
+    let json_path = dir.join("report.json");
+    let r = run(&[
+        "analyze",
+        "--events",
+        events.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(r.code, 0, "stderr:\n{}", r.stderr);
+    assert!(r.stdout.contains("# mica-prof report"), "human report still printed");
+    let text = std::fs::read_to_string(&json_path).expect("JSON report written");
+    let report: mica_prof::analysis::JsonReport =
+        serde_json::from_str(&text).expect("JSON report parses");
+    assert_eq!(report.bin.as_deref(), Some("profile"));
+    assert_eq!(report.kernel_count, 1);
+    assert_eq!(report.kernels_top[0].name, "MiBench/CRC32/pcm");
+    assert!(!report.truncated);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn heat_renders_the_hottest_blocks() {
+    let dir = temp_dir("heat");
+    write_heat_dir(&dir, &[heat("m/a/x", &[(0x10000, 0.9), (0x10020, 0.1)])]);
+    let r = run(&["heat", "--dir", dir.to_str().unwrap(), "--top", "1"]);
+    assert_eq!(r.code, 0, "stderr:\n{}", r.stderr);
+    assert!(r.stdout.contains("m/a/x"), "{}", r.stdout);
+    assert!(r.stdout.contains("0x10000"), "hottest block listed:\n{}", r.stdout);
+    assert!(!r.stdout.contains("0x10020"), "--top 1 truncates:\n{}", r.stdout);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn heat_on_an_empty_directory_fails_and_names_it() {
+    let dir = temp_dir("heat_empty");
+    let r = run(&["heat", "--dir", dir.to_str().unwrap()]);
+    assert_eq!(r.code, 1);
+    assert!(r.stderr.contains("no heat artifacts"), "{}", r.stderr);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn heat_diff_of_identical_runs_is_clean() {
+    let root = temp_dir("diff_clean");
+    let heats = [heat("m/a/x", &[(0x10000, 0.7), (0x10020, 0.3)])];
+    write_heat_dir(&root.join("a"), &heats);
+    write_heat_dir(&root.join("b"), &heats);
+    let r = run(&[
+        "heat-diff",
+        root.join("a").to_str().unwrap(),
+        root.join("b").to_str().unwrap(),
+    ]);
+    assert_eq!(r.code, 0, "stdout:\n{}\nstderr:\n{}", r.stdout, r.stderr);
+    assert!(r.stdout.contains("no hotspot drift"), "{}", r.stdout);
+    std::fs::remove_dir_all(root).ok();
+}
+
+#[test]
+fn heat_diff_flags_a_perturbed_kernel_and_exits_2() {
+    let root = temp_dir("diff_drift");
+    write_heat_dir(&root.join("a"), &[heat("m/a/x", &[(0x10000, 0.7), (0x10020, 0.3)])]);
+    write_heat_dir(&root.join("b"), &[heat("m/a/x", &[(0x10000, 0.5), (0x10020, 0.5)])]);
+    let r = run(&[
+        "heat-diff",
+        root.join("a").to_str().unwrap(),
+        root.join("b").to_str().unwrap(),
+        "--threshold",
+        "0.05",
+    ]);
+    assert_eq!(r.code, 2, "stdout:\n{}\nstderr:\n{}", r.stdout, r.stderr);
+    assert!(r.stdout.contains("DRIFT m/a/x block 0x10000"), "{}", r.stdout);
+    assert!(r.stderr.contains("hotspot drift detected"), "{}", r.stderr);
+    std::fs::remove_dir_all(root).ok();
+}

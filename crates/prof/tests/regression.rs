@@ -13,6 +13,7 @@ fn summary(profile_s: f64) -> RunSummary {
         scale: 1e-6,
         threads: 4,
         backend: "ref".to_string(),
+        pmu_period: None,
         table_fingerprint: 0xabcd,
         wall_s: profile_s + 0.1,
         stages: vec![

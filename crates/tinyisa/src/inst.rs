@@ -418,9 +418,50 @@ pub enum InstClass {
 }
 
 impl InstClass {
+    /// Every class, in declaration order. [`InstClass::index`] is the
+    /// position in this array, so per-class counter banks (the PMU's event
+    /// counters, mix tables) can be plain fixed-size arrays.
+    pub const ALL: [InstClass; 7] = [
+        InstClass::IntAlu,
+        InstClass::IntMul,
+        InstClass::Fp,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Branch,
+        InstClass::Jump,
+    ];
+
     /// True for any control transfer (branch or jump/call/return).
     pub fn is_control(self) -> bool {
         matches!(self, InstClass::Branch | InstClass::Jump)
+    }
+
+    /// Stable name, identical to the `Debug` rendering — the key used by
+    /// artifact files (`static_mix`, heat-map class counts), so static and
+    /// dynamic reports join without a rename table.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InstClass::IntAlu => "IntAlu",
+            InstClass::IntMul => "IntMul",
+            InstClass::Fp => "Fp",
+            InstClass::Load => "Load",
+            InstClass::Store => "Store",
+            InstClass::Branch => "Branch",
+            InstClass::Jump => "Jump",
+        }
+    }
+
+    /// Dense index into [`InstClass::ALL`]-ordered counter arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            InstClass::IntAlu => 0,
+            InstClass::IntMul => 1,
+            InstClass::Fp => 2,
+            InstClass::Load => 3,
+            InstClass::Store => 4,
+            InstClass::Branch => 5,
+            InstClass::Jump => 6,
+        }
     }
 }
 
@@ -624,5 +665,13 @@ mod tests {
         assert_eq!(d.num_sources(), 2);
         let v: Vec<_> = d.sources().collect();
         assert_eq!(v, vec![RegRef::Int(2), RegRef::Fp(3)]);
+    }
+
+    #[test]
+    fn class_index_and_name_are_consistent_with_all() {
+        for (i, c) in InstClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+            assert_eq!(c.name(), format!("{c:?}"), "name must match Debug");
+        }
     }
 }
