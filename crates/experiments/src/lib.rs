@@ -43,6 +43,7 @@
 pub mod analysis;
 pub mod lint;
 pub mod profile;
+pub mod query;
 pub mod results;
 pub mod runner;
 

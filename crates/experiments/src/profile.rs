@@ -365,7 +365,7 @@ pub fn profile_benchmark_pmu(
 /// Reject scales that would produce meaningless budgets. NaN, infinities,
 /// zero, and negatives all previously slipped through the `as u64` cast
 /// (NaN casts to 0, infinity saturates) and silently profiled garbage.
-fn validate_scale(scale: f64) -> Result<(), ProfileError> {
+pub fn validate_scale(scale: f64) -> Result<(), ProfileError> {
     if scale.is_finite() && scale > 0.0 {
         Ok(())
     } else {
@@ -376,14 +376,77 @@ fn validate_scale(scale: f64) -> Result<(), ProfileError> {
 /// Scaled per-benchmark budget, floored at 10 000 instructions so tiny
 /// scales still exercise every kernel, with an explicit saturation at
 /// `u64::MAX` instead of relying on the cast's silent clamping. `scale`
-/// must already be validated.
-fn scaled_budget(spec: &BenchmarkSpec, scale: f64) -> u64 {
+/// must already be validated. Public so the characterization server
+/// budgets submissions exactly like the batch pipeline does.
+pub fn scaled_budget(spec: &BenchmarkSpec, scale: f64) -> u64 {
     let budget = (spec.instruction_budget() as f64 * scale).max(10_000.0);
     if budget >= u64::MAX as f64 {
         u64::MAX
     } else {
         budget as u64
     }
+}
+
+/// Outcome of a deadline-sliced characterization run
+/// ([`characterize_vm_sliced`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlicedRun {
+    /// The run completed its budget (or halted) and produced a vector.
+    Done {
+        /// The 47-metric characterization.
+        mica: MicaVector,
+        /// Dynamic instructions actually executed.
+        executed: u64,
+    },
+    /// The cancel predicate fired between slices; the partial state was
+    /// discarded (a truncated characterization is not comparable to the
+    /// batch pipeline's).
+    Cancelled {
+        /// Dynamic instructions executed before cancellation.
+        executed: u64,
+    },
+}
+
+/// Characterize an already-built VM in fuel slices of `slice`
+/// instructions, polling `should_cancel` between slices.
+///
+/// This is the server's deadline path: the VM is resumable across `run`
+/// calls and flushes its delivery batch at every fuel exhaustion, so each
+/// retired instruction reaches the analyzers exactly once and — because
+/// the analyzers are partition-independent (differentially tested) — the
+/// finished vector is bit-identical to a single uninterrupted
+/// [`characterize_with`] run at the same budget. Cancellation is
+/// cooperative with slice granularity: a hung submission is cut off at
+/// most `slice` instructions past the deadline.
+///
+/// # Errors
+///
+/// See [`ProfileError`].
+pub fn characterize_vm_sliced<F: FnMut() -> bool>(
+    vm: &mut tinyisa::Vm,
+    budget: u64,
+    backend: Backend,
+    slice: u64,
+    mut should_cancel: F,
+) -> Result<SlicedRun, ProfileError> {
+    let slice = slice.max(1);
+    let mut suite = CharacterizationSuite::new();
+    let mut remaining = budget;
+    while remaining > 0 {
+        if should_cancel() {
+            return Ok(SlicedRun::Cancelled { executed: suite.total_instructions() });
+        }
+        let fuel = slice.min(remaining);
+        let exit = match backend {
+            Backend::Ref => vm.run(&mut PerInst(&mut suite), fuel)?,
+            Backend::Batch => vm.run(&mut suite, fuel)?,
+        };
+        if matches!(exit, tinyisa::RunExit::Halted) {
+            break;
+        }
+        remaining -= fuel;
+    }
+    Ok(SlicedRun::Done { executed: suite.total_instructions(), mica: suite.finish() })
 }
 
 /// Fingerprint identifying what a [`ProfileSet`] was collected from: the
@@ -846,6 +909,40 @@ mod tests {
         assert_eq!(loaded.set, fake);
         assert!(loaded.quarantined.is_empty(), "cache hits quarantine nothing");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sliced_characterization_matches_uninterrupted_run() {
+        let s = spec("dijkstra");
+        let whole = characterize_with(&s, 30_000, Backend::Batch).unwrap();
+        for slice in [1_000u64, 7_919, 30_000, 100_000] {
+            let mut vm = s.build_vm().unwrap();
+            let got =
+                characterize_vm_sliced(&mut vm, 30_000, Backend::Batch, slice, || false).unwrap();
+            match got {
+                SlicedRun::Done { mica, executed } => {
+                    assert_eq!(mica, whole, "slice {slice}");
+                    assert_eq!(executed, 30_000);
+                }
+                SlicedRun::Cancelled { .. } => panic!("not cancelled"),
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_characterization_cancels_between_slices() {
+        let s = spec("dijkstra");
+        let mut vm = s.build_vm().unwrap();
+        let mut polls = 0u32;
+        let got = characterize_vm_sliced(&mut vm, 50_000, Backend::Ref, 5_000, || {
+            polls += 1;
+            polls > 2
+        })
+        .unwrap();
+        match got {
+            SlicedRun::Cancelled { executed } => assert_eq!(executed, 10_000),
+            SlicedRun::Done { .. } => panic!("should have been cancelled"),
+        }
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! Rename is atomic on POSIX filesystems, so at every instant the
 //! destination holds either the complete old content or the complete new
 //! content — never a prefix. [`atomic_write_retry`] adds bounded retry
-//! with a **fixed** backoff schedule (1, 2, 4, … ms, capped at 32 ms —
-//! no wall-clock randomness, so faulting runs reproduce): `MICA_RETRIES`
-//! (default 3) extra attempts after the first.
+//! with an exponential 1, 2, 4, … ms schedule plus **deterministic
+//! jitter** seeded from the retry site name (no wall-clock randomness,
+//! so faulting runs reproduce, but two sites retrying the same artifact
+//! directory no longer thunder in lockstep), capped at `MICA_RETRY_CAP_MS`
+//! (default 32): `MICA_RETRIES` (default 3) extra attempts after the
+//! first.
 //!
 //! Both helpers consult the installed [`crate::plan`] first, keyed by the
 //! caller-supplied `site` name, so CI can deterministically inject write
@@ -41,10 +44,46 @@ pub fn retries() -> u32 {
     }
 }
 
-/// Fixed backoff before retry attempt `attempt` (1-based): 1, 2, 4, … ms,
-/// capped at 32 ms. Deterministic by construction.
-pub(crate) fn backoff_ms(attempt: u32) -> u64 {
-    1u64 << attempt.saturating_sub(1).min(5)
+/// Backoff cap in milliseconds: `MICA_RETRY_CAP_MS` if set to a positive
+/// integer, else 32.
+pub fn backoff_cap_ms() -> u64 {
+    match std::env::var("MICA_RETRY_CAP_MS") {
+        Err(_) => 32,
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid MICA_RETRY_CAP_MS={v:?}; using 32");
+                32
+            }
+        },
+    }
+}
+
+/// FNV-1a hash of a site name — the seed for deterministic backoff jitter.
+fn site_seed(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Backoff before retry attempt `attempt` (1-based) at `site`: the
+/// exponential base 1, 2, 4, … ms plus a jitter in `[0, base)` derived
+/// from the site name and the attempt number (splitmix64 of the FNV
+/// seed), the sum capped at [`backoff_cap_ms`]. No wall-clock randomness
+/// enters the schedule, so a given `(site, attempt)` pair always waits the
+/// same amount — runs reproduce — while distinct sites desynchronize.
+pub fn backoff_ms(site: &str, attempt: u32) -> u64 {
+    let base = 1u64 << attempt.saturating_sub(1).min(5);
+    let mut x = site_seed(site) ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (base + x % base).min(backoff_cap_ms())
 }
 
 /// The sibling temp path the atomic protocol stages into:
@@ -73,6 +112,9 @@ pub fn atomic_write(site: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         fs::create_dir_all(parent)?;
     }
+    if let Some(ms) = plan::slow_fault(site) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
     match plan::io_fault(site) {
         Some(IoFaultKind::Error) => {
             metrics::incr(&metrics::INJECTED_IO);
@@ -98,7 +140,7 @@ pub fn atomic_write(site: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
 }
 
 /// [`atomic_write`] with up to `retries` extra attempts, sleeping the
-/// fixed [`backoff_ms`] schedule between attempts.
+/// deterministic site-jittered [`backoff_ms`] schedule between attempts.
 ///
 /// # Errors
 ///
@@ -133,7 +175,7 @@ pub fn atomic_write_with_retries(
                     "warning: write to {} (site {site}) failed ({e}); retry {attempt}/{retries}",
                     path.display()
                 );
-                std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms(site, attempt)));
             }
         }
     }
@@ -245,11 +287,49 @@ mod tests {
     }
 
     #[test]
-    fn backoff_schedule_is_fixed_and_capped() {
-        assert_eq!(
-            (1..=8).map(backoff_ms).collect::<Vec<_>>(),
-            vec![1, 2, 4, 8, 16, 32, 32, 32]
-        );
+    fn backoff_schedule_is_deterministic_per_site() {
+        let _g = LOCK.lock().unwrap();
+        let a: Vec<u64> = (1..=8).map(|n| backoff_ms("cache-write", n)).collect();
+        let b: Vec<u64> = (1..=8).map(|n| backoff_ms("cache-write", n)).collect();
+        assert_eq!(a, b, "same site, same schedule — no wall-clock randomness");
+    }
+
+    #[test]
+    fn backoff_stays_between_base_and_cap() {
+        let _g = LOCK.lock().unwrap();
+        for site in ["cache-write", "results", "run-summary", "serve-index", "serve-client"] {
+            for attempt in 1..=10u32 {
+                let base = 1u64 << attempt.saturating_sub(1).min(5);
+                let ms = backoff_ms(site, attempt);
+                assert!(ms >= base.min(32), "{site} attempt {attempt}: {ms} below base {base}");
+                assert!(ms < (2 * base).max(33), "{site} attempt {attempt}: {ms} past jitter range");
+                assert!(ms <= 32, "{site} attempt {attempt}: {ms} above the default cap");
+            }
+        }
+        // Attempt 1 has base 1 and an empty jitter range: exactly 1 ms.
+        assert_eq!(backoff_ms("anything", 1), 1);
+    }
+
+    #[test]
+    fn backoff_jitter_separates_sites() {
+        let _g = LOCK.lock().unwrap();
+        // With a 16 ms base and jitter in [0, 16), five distinct sites
+        // colliding on the identical schedule would mean the seed is dead.
+        let sites = ["cache-write", "results", "run-summary", "serve-index", "trace"];
+        let at5: Vec<u64> = sites.iter().map(|s| backoff_ms(s, 5)).collect();
+        let distinct: std::collections::BTreeSet<u64> = at5.iter().copied().collect();
+        assert!(distinct.len() > 1, "all sites share one schedule: {at5:?}");
+    }
+
+    #[test]
+    fn backoff_cap_is_configurable() {
+        let _g = LOCK.lock().unwrap();
+        assert_eq!(backoff_cap_ms(), 32);
+        std::env::set_var("MICA_RETRY_CAP_MS", "4");
+        assert!((1..=8).all(|n| backoff_ms("cache-write", n) <= 4));
+        std::env::set_var("MICA_RETRY_CAP_MS", "bogus");
+        assert_eq!(backoff_cap_ms(), 32);
+        std::env::remove_var("MICA_RETRY_CAP_MS");
     }
 
     #[test]

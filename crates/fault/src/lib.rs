@@ -7,17 +7,19 @@
 //! workspace builds on:
 //!
 //! - [`io`] — write-to-temp-then-rename **atomic writes** plus bounded
-//!   **deterministic retry** with a fixed backoff schedule (`MICA_RETRIES`,
-//!   default 3). Adopted by the profile cache, every results artifact, the
-//!   run summaries, the observability sinks and the trace dumps: an
-//!   interrupted write leaves either the old file or the new file on disk,
-//!   never a partial one.
+//!   **deterministic retry** with an exponential, site-jittered backoff
+//!   schedule (`MICA_RETRIES` extra attempts, default 3; cap
+//!   `MICA_RETRY_CAP_MS`, default 32). Adopted by the profile cache, every
+//!   results artifact, the run summaries, the observability sinks and the
+//!   trace dumps: an interrupted write leaves either the old file or the
+//!   new file on disk, never a partial one.
 //! - [`plan`] — an env-driven **fault plan** (`MICA_FAULTS`) describing
-//!   faults to inject deterministically: kernel panics, write errors and
-//!   torn writes at named I/O sites. CI uses it to *prove* every
-//!   degradation path — a run with an injected kernel panic must still
-//!   complete on the surviving 121 benchmarks, and a run with an injected
-//!   cache-write error must survive it through retry.
+//!   faults to inject deterministically: kernel panics, server-request
+//!   panics, write errors, torn writes and latency at named sites. CI uses
+//!   it to *prove* every degradation path — a run with an injected kernel
+//!   panic must still complete on the surviving 121 benchmarks, a run with
+//!   an injected cache-write error must survive it through retry, and a
+//!   server with an injected request panic must keep serving.
 //! - [`metrics`] — process-wide counters of injected and survived faults.
 //!   `mica-obs` merges them into its counter snapshot, so run summaries
 //!   record exactly which faults fired and which were absorbed.
@@ -26,8 +28,8 @@
 //! deps — `mica-obs` depends on *it*), so injection and atomicity are
 //! available everywhere without cycles. Nothing here reads wall-clock
 //! randomness: fault plans fire on exact name/occurrence matches and the
-//! retry backoff is a fixed schedule, so a faulting run is reproducible
-//! bit for bit.
+//! retry backoff is a pure function of the site name and attempt number,
+//! so a faulting run is reproducible bit for bit.
 //!
 //! # Fault grammar (`MICA_FAULTS`)
 //!
@@ -36,11 +38,15 @@
 //! ```text
 //! panic:kernel=NAME      panic while profiling kernel NAME (program name
 //!                        such as `adpcm`, or full `suite/program/input`)
+//! panic:request=N        panic while serving the N-th submitted request
+//!                        (caught by the server's per-request quarantine)
 //! io:SITE[@N]            fail the first N write attempts at SITE
 //!                        (default N=1)
 //! torn:SITE[@N]          simulate a crash mid-write at SITE for the first
 //!                        N attempts: a partial temp file is written, an
 //!                        error is returned, the destination is untouched
+//! slow:SITE[=MS][@N]     delay the first N operations at SITE by MS
+//!                        milliseconds (default MS=25, N=1)
 //! ```
 //!
 //! Example: `MICA_FAULTS=panic:kernel=adpcm,io:cache-write@2,torn:results`.
@@ -48,7 +54,10 @@
 //! Known sites: `cache-write` (the profile cache / `profiles.json`),
 //! `results` (CSV/SVG/markdown artifacts), `run-summary`
 //! (`run-<bin>.json`), `obs.trace` (`MICA_TRACE`), `obs.events`
-//! (`MICA_EVENTS`), `tinyisa.trace` (binary trace dumps).
+//! (`MICA_EVENTS`), `tinyisa.trace` (binary trace dumps), `serve-index`
+//! (the server's sharded profile index), `serve-drain` (the server's
+//! drain summary), `serve.request` (request execution, `slow:` only) and
+//! `respond` (the server's response writes, `io:`/`slow:`).
 
 pub mod io;
 pub mod metrics;

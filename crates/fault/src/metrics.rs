@@ -29,6 +29,10 @@ macro_rules! fault_counters {
 fault_counters! {
     /// Kernel panics injected by a `panic:kernel=` directive.
     INJECTED_PANIC => "fault.injected.panic",
+    /// Server-request panics injected by a `panic:request=` directive.
+    INJECTED_REQUEST_PANIC => "fault.injected.request_panic",
+    /// Latency injections fired by a `slow:` directive.
+    INJECTED_SLOW => "fault.injected.slow",
     /// Write attempts failed by an `io:` directive.
     INJECTED_IO => "fault.injected.io",
     /// Write attempts torn by a `torn:` directive.
@@ -42,8 +46,10 @@ fault_counters! {
     ATOMIC_WRITES => "fault.io.atomic_writes",
 }
 
-/// Bump a counter by one.
-pub(crate) fn incr(c: &AtomicU64) {
+/// Bump a counter by one. Public so adopters outside this crate (e.g. the
+/// serve response path injecting `io:respond`) can account for faults they
+/// inject themselves after consulting [`crate::plan::io_fault`].
+pub fn incr(c: &AtomicU64) {
     c.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -59,12 +65,14 @@ mod tests {
     #[test]
     fn snapshot_is_sorted_and_complete() {
         let snap = snapshot();
-        assert_eq!(snap.len(), 6);
+        assert_eq!(snap.len(), 8);
         let names: Vec<&str> = snap.iter().map(|&(n, _)| n).collect();
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
         assert!(names.contains(&"fault.injected.panic"));
+        assert!(names.contains(&"fault.injected.request_panic"));
+        assert!(names.contains(&"fault.injected.slow"));
         assert!(names.contains(&"fault.survived.io"));
     }
 }

@@ -41,6 +41,14 @@ pub enum Directive {
         /// Program name (`adpcm`) or full `suite/program/input` name.
         kernel: String,
     },
+    /// `panic:request=N` — panic while serving the N-th submission
+    /// (1-based across the process), to be caught by the server's
+    /// per-request quarantine.
+    PanicRequest {
+        /// Which request (counting calls to [`should_panic_request`])
+        /// panics.
+        nth: u64,
+    },
     /// `io:SITE[@N]` / `torn:SITE[@N]` — fault the first N write attempts
     /// at SITE.
     Io {
@@ -51,6 +59,34 @@ pub enum Directive {
         /// How many attempts to fault before standing down.
         attempts: u64,
     },
+    /// `slow:SITE[=MS][@N]` — delay the first N operations at SITE by MS
+    /// milliseconds (default 25). Adopters ask [`slow_fault`] and sleep.
+    Slow {
+        /// Site name (write sites and server request sites both qualify).
+        site: String,
+        /// Injected latency, milliseconds.
+        millis: u64,
+        /// How many operations to slow before standing down.
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::PanicKernel { kernel } => write!(f, "panic:kernel={kernel}"),
+            Directive::PanicRequest { nth } => write!(f, "panic:request={nth}"),
+            Directive::Io { site, kind: IoFaultKind::Error, attempts } => {
+                write!(f, "io:{site}@{attempts}")
+            }
+            Directive::Io { site, kind: IoFaultKind::Torn, attempts } => {
+                write!(f, "torn:{site}@{attempts}")
+            }
+            Directive::Slow { site, millis, attempts } => {
+                write!(f, "slow:{site}={millis}@{attempts}")
+            }
+        }
+    }
 }
 
 /// A parsed fault plan.
@@ -107,21 +143,48 @@ impl FaultPlan {
     }
 }
 
+impl fmt::Display for FaultPlan {
+    /// Render the plan in canonical grammar; `FaultPlan::parse` of the
+    /// rendering reproduces the plan exactly (round-trip tested).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.directives.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
 fn parse_directive(d: &str) -> Result<Directive, PlanParseError> {
     let err = |message: &str| PlanParseError { directive: d.to_string(), message: message.into() };
     let (head, rest) = d.split_once(':').ok_or_else(|| err("expected `kind:...`"))?;
     match head.trim() {
         "panic" => {
-            let (what, kernel) =
-                rest.split_once('=').ok_or_else(|| err("expected `panic:kernel=NAME`"))?;
-            if what.trim() != "kernel" {
-                return Err(err("only `panic:kernel=NAME` is supported"));
+            let (what, arg) = rest
+                .split_once('=')
+                .ok_or_else(|| err("expected `panic:kernel=NAME` or `panic:request=N`"))?;
+            match what.trim() {
+                "kernel" => {
+                    let kernel = arg.trim();
+                    if kernel.is_empty() {
+                        return Err(err("empty kernel name"));
+                    }
+                    Ok(Directive::PanicKernel { kernel: kernel.to_string() })
+                }
+                "request" => {
+                    let nth = arg
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| err("`panic:request=N` needs a positive integer"))?;
+                    if nth == 0 {
+                        return Err(err("`panic:request=N` needs a positive integer"));
+                    }
+                    Ok(Directive::PanicRequest { nth })
+                }
+                _ => Err(err("only `panic:kernel=NAME` and `panic:request=N` are supported")),
             }
-            let kernel = kernel.trim();
-            if kernel.is_empty() {
-                return Err(err("empty kernel name"));
-            }
-            Ok(Directive::PanicKernel { kernel: kernel.to_string() })
         }
         kind @ ("io" | "torn") => {
             let kind =
@@ -141,7 +204,32 @@ fn parse_directive(d: &str) -> Result<Directive, PlanParseError> {
             }
             Ok(Directive::Io { site: site.to_string(), kind, attempts })
         }
-        _ => Err(err("unknown directive kind (want `panic`, `io` or `torn`)")),
+        "slow" => {
+            let (spec, attempts) = match rest.split_once('@') {
+                None => (rest, 1),
+                Some((spec, n)) => (
+                    spec,
+                    n.trim().parse::<u64>().map_err(|_| err("`@N` must be a positive integer"))?,
+                ),
+            };
+            if attempts == 0 {
+                return Err(err("`@N` must be a positive integer"));
+            }
+            let (site, millis) = match spec.split_once('=') {
+                None => (spec.trim(), 25),
+                Some((site, ms)) => (
+                    site.trim(),
+                    ms.trim()
+                        .parse::<u64>()
+                        .map_err(|_| err("`=MS` must be a non-negative integer"))?,
+                ),
+            };
+            if site.is_empty() {
+                return Err(err("empty site name"));
+            }
+            Ok(Directive::Slow { site: site.to_string(), millis, attempts })
+        }
+        _ => Err(err("unknown directive kind (want `panic`, `io`, `torn` or `slow`)")),
     }
 }
 
@@ -220,6 +308,55 @@ pub fn should_panic_kernel(name: &str) -> bool {
     false
 }
 
+/// Should the submission being admitted right now panic? Every call counts
+/// one request against each `panic:request=N` directive; the call whose
+/// running count hits `N` returns true (exactly once per directive).
+/// Counted requests are whatever the adopter says they are — the server
+/// calls this once per accepted submission — so `N` is deterministic under
+/// FIFO admission regardless of worker scheduling. Bumps the
+/// `fault.injected.request_panic` counter when it fires.
+pub fn should_panic_request() -> bool {
+    let mut st = state().lock().expect("fault plan poisoned");
+    let mut fire = false;
+    for i in 0..st.plan.directives.len() {
+        let nth = match &st.plan.directives[i] {
+            Directive::PanicRequest { nth } => *nth,
+            _ => continue,
+        };
+        st.fired[i] += 1;
+        if st.fired[i] == nth {
+            fire = true;
+        }
+    }
+    drop(st);
+    if fire {
+        crate::metrics::incr(&crate::metrics::INJECTED_REQUEST_PANIC);
+    }
+    fire
+}
+
+/// Should the operation at `site` be artificially delayed? Consumes one
+/// occurrence of the first matching `slow:` directive with occurrences
+/// left and returns the injected latency in milliseconds — the caller
+/// sleeps (so the delay lands on the adopter's thread, not under the plan
+/// lock). Bumps the `fault.injected.slow` counter when it fires.
+pub fn slow_fault(site: &str) -> Option<u64> {
+    let mut st = state().lock().expect("fault plan poisoned");
+    for i in 0..st.plan.directives.len() {
+        let (millis, attempts) = match &st.plan.directives[i] {
+            Directive::Slow { site: s, millis, attempts } if s == site => (*millis, *attempts),
+            _ => continue,
+        };
+        if st.fired[i] < attempts {
+            st.fired[i] += 1;
+            drop(st);
+            crate::metrics::incr(&crate::metrics::INJECTED_SLOW);
+            return Some(millis);
+        }
+    }
+    None
+}
+
 /// Should this write attempt at `site` be faulted? Consumes one occurrence
 /// of the first matching directive with occurrences left. Counting of the
 /// injection itself happens in [`crate::io::atomic_write`], which knows
@@ -266,14 +403,49 @@ mod tests {
     }
 
     #[test]
+    fn grammar_parses_serve_side_directives() {
+        let p = FaultPlan::parse("panic:request=2, slow:respond@3, slow:serve.request=150").unwrap();
+        assert_eq!(
+            p.directives,
+            vec![
+                Directive::PanicRequest { nth: 2 },
+                Directive::Slow { site: "respond".into(), millis: 25, attempts: 3 },
+                Directive::Slow { site: "serve.request".into(), millis: 150, attempts: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn plans_round_trip_through_display() {
+        for s in [
+            "panic:kernel=adpcm,io:cache-write@2,torn:results",
+            "panic:request=3,slow:serve.request=150@2,io:respond@1",
+            "slow:cache-write,slow:results=0@4",
+            "",
+        ] {
+            let plan = FaultPlan::parse(s).unwrap();
+            let rendered = plan.to_string();
+            let reparsed = FaultPlan::parse(&rendered).unwrap();
+            assert_eq!(reparsed, plan, "{s:?} -> {rendered:?} did not round-trip");
+        }
+    }
+
+    #[test]
     fn bad_directives_are_rejected_with_context() {
         for bad in [
             "panic",
             "panic:kernel=",
             "panic:thread=main",
+            "panic:request=",
+            "panic:request=0",
+            "panic:request=x",
             "io:",
             "io:site@0",
             "io:site@x",
+            "slow:",
+            "slow:site@0",
+            "slow:site=ms",
+            "slow:=5",
             "boom:site",
         ] {
             let e = FaultPlan::parse(bad).unwrap_err();
@@ -292,6 +464,31 @@ mod tests {
         assert!(!should_panic_kernel("MiBench/adpcm/rawcaudio"));
         clear();
         assert!(!should_panic_kernel("adpcm"));
+    }
+
+    #[test]
+    fn request_panic_fires_on_the_nth_request_only() {
+        let _g = LOCK.lock().unwrap();
+        install(FaultPlan::parse("panic:request=3").unwrap());
+        let fired: Vec<bool> = (0..5).map(|_| should_panic_request()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+        // Reinstalling resets the request count.
+        install(FaultPlan::parse("panic:request=1").unwrap());
+        assert!(should_panic_request());
+        assert!(!should_panic_request());
+        clear();
+        assert!(!should_panic_request());
+    }
+
+    #[test]
+    fn slow_occurrences_are_consumed_and_sited() {
+        let _g = LOCK.lock().unwrap();
+        install(FaultPlan::parse("slow:a=7@2").unwrap());
+        assert_eq!(slow_fault("a"), Some(7));
+        assert_eq!(slow_fault("b"), None, "other sites never slow");
+        assert_eq!(slow_fault("a"), Some(7));
+        assert_eq!(slow_fault("a"), None, "budget exhausted");
+        clear();
     }
 
     #[test]

@@ -200,13 +200,23 @@ impl fmt::Display for ItemPanic {
 
 impl std::error::Error for ItemPanic {}
 
-fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Dispose of a caught panic payload without letting it unwind again: a
+/// payload whose `Drop` itself panics (a "drop bomb", e.g. from
+/// `panic_any`) would otherwise escape the `catch_unwind` that caught the
+/// original panic and tear down the worker pool.
+fn dispose_payload(payload: Box<dyn std::any::Any + Send>) {
+    if panic::catch_unwind(AssertUnwindSafe(move || drop(payload))).is_err() {
+        obs::warn!("isolated panic payload panicked on drop; suppressed");
     }
 }
 
@@ -274,7 +284,8 @@ where
         let _quiet = IsolatedSection::enter();
         panic::catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
             PANICS_CAUGHT.incr();
-            let item = ItemPanic { index: i, payload: payload_string(payload) };
+            let item = ItemPanic { index: i, payload: payload_string(payload.as_ref()) };
+            dispose_payload(payload);
             obs::warn!("isolated worker panic: {item}");
             item
         })
@@ -446,5 +457,54 @@ mod tests {
     #[test]
     fn isolated_handles_empty_input() {
         assert_eq!(par_map_indexed_isolated(0, |i| i), Vec::<Result<usize, ItemPanic>>::new());
+        // Zero items must leave the quiet-hook balance intact: a normal
+        // panic afterwards still unwinds (and is catchable) as usual.
+        let caught = panic::catch_unwind(|| panic!("after empty"));
+        assert!(caught.is_err());
+    }
+
+    /// A panic payload that panics again when dropped ("drop bomb").
+    struct DropBomb;
+
+    impl Drop for DropBomb {
+        fn drop(&mut self) {
+            if !thread::panicking() {
+                panic!("payload drop bomb");
+            }
+            // Already unwinding: stay silent so the *original* abort-on-
+            // double-panic path is never entered from test teardown.
+        }
+    }
+
+    #[test]
+    fn isolated_survives_payload_that_panics_on_drop() {
+        let out = par_map_indexed_isolated(64, |i| {
+            if i == 21 {
+                std::panic::panic_any(DropBomb);
+            }
+            i + 1
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i == 21 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 21);
+                assert_eq!(e.payload, "non-string panic payload");
+            } else {
+                assert_eq!(r, &Ok(i + 1));
+            }
+        }
+        // The pool and the quiet hook both recovered: a fresh map works,
+        // isolation still catches, and plain panics still propagate.
+        let again = par_map_indexed(128, |i| i * 3);
+        assert_eq!(again, (0..128).map(|i| i * 3).collect::<Vec<_>>());
+        let isolated = par_map_indexed_isolated(3, |i| -> usize {
+            if i == 1 {
+                panic!("still caught");
+            }
+            i
+        });
+        assert_eq!(isolated[1].as_ref().unwrap_err().payload, "still caught");
+        assert!(panic::catch_unwind(|| panic!("still loud")).is_err());
     }
 }

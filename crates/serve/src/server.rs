@@ -1,0 +1,659 @@
+//! The daemon: accept loop, admission control, dispatch, watchdog, drain.
+//!
+//! Thread layout (all std):
+//!
+//! - the **accept loop** (the thread running [`serve`] or the one
+//!   [`spawn`] starts) polls a non-blocking listener and hands each
+//!   connection to a reader thread; on SIGTERM/SIGINT (or
+//!   [`ServerHandle::shutdown`]) it stops accepting and runs the drain;
+//! - **reader threads** (one per connection) parse request lines and run
+//!   *admission*: `draining` and `overloaded` rejections are written
+//!   right here without ever touching the queue, everything admitted is
+//!   pushed onto the bounded queue with its deadline registered at the
+//!   watchdog — a request's deadline clock starts at admission, queueing
+//!   time counts against it;
+//! - the **dispatcher** pops batches off the queue and runs them through
+//!   [`mica_par::par_map_isolated`], so one panicking submission becomes
+//!   one structured `panic` response while its batch-mates complete;
+//! - the **watchdog** ticks every few milliseconds and flips the cancel
+//!   flag of any registered request past its deadline — the sliced VM
+//!   loop observes the flag between fuel slices and stops.
+//!
+//! Drain: stop admission (readers answer `draining`), let the dispatcher
+//! finish the queue and in-flight batches, flush the submission index
+//! shards and the [`DrainSummary`] (both via
+//! [`mica_fault::atomic_write_retry`]), write the run summary, flush the
+//! observability sinks, and return — the binary then exits 0.
+
+use crate::engine::Engine;
+use crate::protocol::{
+    parse_request, render_response, salvage_id, status, EnvEntry, Provenance, Request, Response,
+};
+use crate::ServeConfig;
+use mica_experiments::runner::Runner;
+use mica_obs as obs;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+static ACCEPTED: obs::Counter = obs::Counter::new("serve.accepted");
+static OK: obs::Counter = obs::Counter::new("serve.ok");
+static ERRORS: obs::Counter = obs::Counter::new("serve.error");
+static PANICS: obs::Counter = obs::Counter::new("serve.panic");
+static DEADLINES: obs::Counter = obs::Counter::new("serve.deadline");
+static REJECTED_OVERLOADED: obs::Counter = obs::Counter::new("serve.rejected.overloaded");
+static REJECTED_DRAINING: obs::Counter = obs::Counter::new("serve.rejected.draining");
+static SHED: obs::Counter = obs::Counter::new("serve.shed");
+static BAD_LINES: obs::Counter = obs::Counter::new("serve.bad_lines");
+/// Admission-to-dispatch wait.
+static QUEUE_US: obs::Histogram = obs::Histogram::new("serve.queue_us");
+/// Admission-to-response-written latency.
+static LATENCY_US: obs::Histogram = obs::Histogram::new("serve.latency_us");
+
+fn register_counters() {
+    for c in [
+        &ACCEPTED,
+        &OK,
+        &ERRORS,
+        &PANICS,
+        &DEADLINES,
+        &REJECTED_OVERLOADED,
+        &REJECTED_DRAINING,
+        &SHED,
+        &BAD_LINES,
+    ] {
+        c.register();
+    }
+}
+
+/// What the drain writes to `serve-drain.json` — the server's closing
+/// account of everything it did. Schema-stable: every field always
+/// present, derived serde both ways so consumers can round-trip it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainSummary {
+    /// Requests that passed admission.
+    pub accepted: u64,
+    /// Answered `ok`.
+    pub ok: u64,
+    /// Answered `error` (bad request or failed execution).
+    pub errors: u64,
+    /// Quarantined panicking submissions (`panic`).
+    pub panics: u64,
+    /// Cancelled past their deadline (`deadline`).
+    pub deadline_exceeded: u64,
+    /// Rejected `overloaded` at the queue-full limit.
+    pub rejected_overloaded: u64,
+    /// Expensive submissions shed above the watermark (counted inside
+    /// `rejected_overloaded` on the wire, separated here).
+    pub shed: u64,
+    /// Rejected `draining` during shutdown.
+    pub rejected_draining: u64,
+    /// Request lines that did not parse.
+    pub bad_lines: u64,
+    /// Requests still queued or executing when drain began, all of which
+    /// were finished (never dropped) before this summary was written.
+    pub drained_in_flight: u64,
+    /// Submission-index shards written.
+    pub index_shards: u64,
+    /// Entries across those shards.
+    pub index_entries: u64,
+    /// Server uptime in seconds.
+    pub wall_s: f64,
+    /// The same provenance block every `ok` answer carried.
+    pub provenance: Provenance,
+}
+
+/// One admitted request waiting for (or in) execution.
+struct Job {
+    req: Request,
+    admitted: Instant,
+    deadline_at: Instant,
+    cancel: Arc<AtomicBool>,
+    conn: Arc<Mutex<TcpStream>>,
+}
+
+/// Deadline registry the watchdog sweeps.
+struct Watchdog {
+    entries: Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
+}
+
+impl Watchdog {
+    fn register(&self, deadline_at: Instant, cancel: Arc<AtomicBool>) {
+        self.entries.lock().expect("watchdog poisoned").push((deadline_at, cancel));
+    }
+
+    /// Fire expired deadlines; forget fired and orphaned entries.
+    fn sweep(&self, now: Instant) {
+        self.entries.lock().expect("watchdog poisoned").retain(|(deadline_at, cancel)| {
+            if *deadline_at <= now {
+                cancel.store(true, Ordering::Relaxed);
+                return false;
+            }
+            // Strong count 1 means the job finished and dropped its clone;
+            // nothing left to cancel.
+            Arc::strong_count(cancel) > 1
+        });
+    }
+}
+
+struct Stats {
+    accepted: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    shed: AtomicU64,
+    rejected_draining: AtomicU64,
+    bad_lines: AtomicU64,
+    drained_in_flight: AtomicU64,
+}
+
+impl Stats {
+    fn new() -> Stats {
+        Stats {
+            accepted: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            bad_lines: AtomicU64::new(0),
+            drained_in_flight: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bump(cell: &AtomicU64, counter: &obs::Counter) {
+    cell.fetch_add(1, Ordering::Relaxed);
+    counter.incr();
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    engine: Engine,
+    provenance: Provenance,
+    queue: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+    draining: AtomicBool,
+    done: AtomicBool,
+    inflight: AtomicUsize,
+    watchdog: Watchdog,
+    stats: Stats,
+}
+
+/// Process-wide signal flag; [`install_signal_handlers`] points SIGTERM
+/// and SIGINT here and the accept loop polls it.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only an atomic store: async-signal-safe.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT into a graceful drain. std links libc on the
+/// platforms this repo targets, so `signal(2)` is declared directly
+/// instead of growing a dependency.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Write one response line to a connection, honoring `respond` fault
+/// directives (`slow:respond` delays, `io:respond` / `torn:respond` drop
+/// the write so the client's retry path gets exercised).
+fn write_response(conn: &Mutex<TcpStream>, resp: &Response) {
+    if let Some(ms) = mica_fault::plan::slow_fault("respond") {
+        obs::warn!("injected latency: response {} delayed {ms}ms (MICA_FAULTS)", resp.id);
+        thread::sleep(Duration::from_millis(ms));
+    }
+    if let Some(kind) = mica_fault::plan::io_fault("respond") {
+        match kind {
+            mica_fault::plan::IoFaultKind::Error => {
+                mica_fault::metrics::incr(&mica_fault::metrics::INJECTED_IO)
+            }
+            mica_fault::plan::IoFaultKind::Torn => {
+                mica_fault::metrics::incr(&mica_fault::metrics::INJECTED_TORN)
+            }
+        }
+        obs::warn!("injected I/O fault: dropping response {} (MICA_FAULTS)", resp.id);
+        // Simulate the connection dying mid-response: the client sees EOF
+        // and its retry path takes over.
+        let stream = conn.lock().expect("connection poisoned");
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    }
+    let mut line = render_response(resp);
+    line.push('\n');
+    let mut stream = conn.lock().expect("connection poisoned");
+    if let Err(e) = stream.write_all(line.as_bytes()) {
+        // The client hung up; its loss, not ours.
+        obs::debug!("client write failed for {}: {e}", resp.id);
+    }
+}
+
+/// Admission: either queue the request or return the rejection to write.
+fn admit(shared: &Arc<Shared>, req: Request, conn: &Arc<Mutex<TcpStream>>) -> Option<Response> {
+    let id = req.id.clone();
+    if shared.draining.load(Ordering::SeqCst) {
+        bump(&shared.stats.rejected_draining, &REJECTED_DRAINING);
+        let mut resp = Response::refusal(&id, status::DRAINING, "server is draining");
+        resp.retry_after_ms = Some(shared.cfg.retry_ms * 4);
+        return Some(resp);
+    }
+
+    let deadline_ms = req
+        .deadline_ms
+        .unwrap_or(shared.cfg.default_deadline_ms)
+        .clamp(1, shared.cfg.max_deadline_ms);
+    let admitted = Instant::now();
+    let deadline_at = admitted + Duration::from_millis(deadline_ms);
+
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    let depth = queue.len() + shared.inflight.load(Ordering::Relaxed);
+    if depth >= shared.cfg.queue_cap {
+        bump(&shared.stats.rejected_overloaded, &REJECTED_OVERLOADED);
+        let mut resp = Response::refusal(&id, status::OVERLOADED, "admission queue is full");
+        resp.retry_after_ms = Some(shared.cfg.retry_ms * (1 + depth as u64));
+        return Some(resp);
+    }
+    if depth >= shared.cfg.watermark && !shared.engine.is_cheap(&req) {
+        bump(&shared.stats.shed, &SHED);
+        bump(&shared.stats.rejected_overloaded, &REJECTED_OVERLOADED);
+        let mut resp = Response::refusal(
+            &id,
+            status::OVERLOADED,
+            "load shedding: queue past watermark, submission needs simulation",
+        );
+        resp.retry_after_ms = Some(shared.cfg.retry_ms * (1 + depth as u64));
+        return Some(resp);
+    }
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    shared.watchdog.register(deadline_at, Arc::clone(&cancel));
+    queue.push_back(Job { req, admitted, deadline_at, cancel, conn: Arc::clone(conn) });
+    drop(queue);
+    bump(&shared.stats.accepted, &ACCEPTED);
+    shared.work_cv.notify_one();
+    None
+}
+
+/// One connection: read request lines until EOF, admit or reject each.
+fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let conn = Arc::new(Mutex::new(stream));
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(req) => {
+                if let Some(rejection) = admit(&shared, req, &conn) {
+                    write_response(&conn, &rejection);
+                }
+            }
+            Err(e) => {
+                bump(&shared.stats.bad_lines, &BAD_LINES);
+                write_response(&conn, &Response::refusal(&salvage_id(&line), status::ERROR, e));
+            }
+        }
+    }
+}
+
+/// The dispatcher: pop batches, execute under panic isolation, respond.
+fn dispatch_loop(shared: &Arc<Shared>) {
+    let batch_cap = mica_par::num_threads().max(1);
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            while queue.is_empty() {
+                if shared.done.load(Ordering::SeqCst)
+                    || (shared.draining.load(Ordering::SeqCst)
+                        && shared.inflight.load(Ordering::Relaxed) == 0)
+                {
+                    return;
+                }
+                let (q, _) = shared
+                    .work_cv
+                    .wait_timeout(queue, Duration::from_millis(20))
+                    .expect("queue poisoned");
+                queue = q;
+            }
+            let n = queue.len().min(batch_cap);
+            shared.inflight.fetch_add(n, Ordering::SeqCst);
+            queue.drain(..n).collect()
+        };
+
+        let outcomes = mica_par::par_map_isolated(&batch, |job| {
+            QUEUE_US.record(job.admitted.elapsed().as_micros() as u64);
+            shared.engine.execute(&job.req, job.deadline_at, &job.cancel, &shared.cfg)
+        });
+
+        for (job, outcome) in batch.iter().zip(outcomes) {
+            let resp = match outcome {
+                Ok(out) => {
+                    match out.status {
+                        status::OK => bump(&shared.stats.ok, &OK),
+                        status::DEADLINE => bump(&shared.stats.deadline_exceeded, &DEADLINES),
+                        _ => bump(&shared.stats.errors, &ERRORS),
+                    }
+                    Response {
+                        id: job.req.id.clone(),
+                        status: out.status.to_string(),
+                        error: out.error,
+                        retry_after_ms: None,
+                        result: out.result,
+                        provenance: if out.status == status::OK {
+                            Some(shared.provenance.clone())
+                        } else {
+                            None
+                        },
+                    }
+                }
+                Err(panic) => {
+                    bump(&shared.stats.panics, &PANICS);
+                    Response::refusal(
+                        &job.req.id,
+                        status::PANIC,
+                        format!("submission quarantined: {}", panic.payload),
+                    )
+                }
+            };
+            write_response(&job.conn, &resp);
+            LATENCY_US.record(job.admitted.elapsed().as_micros() as u64);
+        }
+        shared.inflight.fetch_sub(batch.len(), Ordering::SeqCst);
+        shared.work_cv.notify_all();
+    }
+}
+
+fn build_provenance(engine: &Engine) -> Provenance {
+    let mut env: Vec<EnvEntry> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("MICA_"))
+        .map(|(name, value)| EnvEntry { name, value })
+        .collect();
+    env.sort_by(|a, b| a.name.cmp(&b.name));
+    Provenance {
+        server: format!("{} {}", env!("CARGO_PKG_NAME"), env!("CARGO_PKG_VERSION")),
+        table_fingerprint: mica_workloads::table_fingerprint(),
+        profile_fingerprint: engine.profiles().fingerprint,
+        scale: engine.profiles().scale,
+        backend: mica_core::Backend::from_env().name().to_string(),
+        threads: mica_par::num_threads() as u64,
+        selected_metrics: engine.space().selected().iter().map(|&i| i as u64).collect(),
+        ga_rho: engine.space().rho(),
+        env,
+    }
+}
+
+/// A running in-process server (tests; the binary uses [`serve`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: thread::JoinHandle<std::io::Result<DrainSummary>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain, as SIGTERM would.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Wait for the drain to finish and return its summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener errors from the accept loop.
+    pub fn join(self) -> std::io::Result<DrainSummary> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Start a server on `cfg.addr` in a background thread and return once
+/// the listener is bound and the engine is warm.
+///
+/// # Errors
+///
+/// Binding or engine boot failures.
+pub fn spawn(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = boot_shared(cfg)?;
+    let run_shared = Arc::clone(&shared);
+    let thread = thread::Builder::new()
+        .name("mica-serve-accept".into())
+        .spawn(move || run(run_shared, listener))
+        .expect("spawn accept thread");
+    Ok(ServerHandle { addr, shared, thread })
+}
+
+/// Run the server on the calling thread until a signal (or
+/// [`ServerHandle::shutdown`] from elsewhere) drains it. This is the
+/// binary's whole life.
+///
+/// # Errors
+///
+/// Binding or engine boot failures.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<DrainSummary> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let shared = boot_shared(cfg)?;
+    run(shared, listener)
+}
+
+fn boot_shared(cfg: ServeConfig) -> std::io::Result<Arc<Shared>> {
+    register_counters();
+    let engine = Engine::boot()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+    let provenance = build_provenance(&engine);
+    Ok(Arc::new(Shared {
+        cfg,
+        engine,
+        provenance,
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        draining: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        watchdog: Watchdog { entries: Mutex::new(Vec::new()) },
+        stats: Stats::new(),
+    }))
+}
+
+fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSummary> {
+    let started = Instant::now();
+    let mut runner = Runner::new("serve");
+    listener.set_nonblocking(true)?;
+    obs::info!(
+        "mica-serve listening on {} (queue {}, watermark {})",
+        listener.local_addr()?,
+        shared.cfg.queue_cap,
+        shared.cfg.watermark
+    );
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("mica-serve-dispatch".into())
+            .spawn(move || dispatch_loop(&shared))
+            .expect("spawn dispatcher")
+    };
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("mica-serve-watchdog".into())
+            .spawn(move || {
+                while !shared.done.load(Ordering::SeqCst) {
+                    shared.watchdog.sweep(Instant::now());
+                    thread::sleep(Duration::from_millis(5));
+                }
+            })
+            .expect("spawn watchdog")
+    };
+
+    runner.stage("accept", || {
+        while !shared.draining.load(Ordering::SeqCst) {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                shared.draining.store(true, Ordering::SeqCst);
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    obs::debug!("connection from {peer}");
+                    let shared = Arc::clone(&shared);
+                    // Reader threads are detached: they exit at client EOF,
+                    // and the drain waits on *requests*, not connections.
+                    let _ = thread::Builder::new()
+                        .name("mica-serve-conn".into())
+                        .spawn(move || serve_connection(shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    obs::warn!("accept failed: {e}");
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    });
+
+    // Drain: admission is closed (readers now answer `draining`); wait for
+    // the queue and in-flight batches, then stop the worker threads.
+    runner.stage("drain", || {
+        let backlog = shared.queue.lock().expect("queue poisoned").len();
+        obs::info!("draining: {backlog} queued, finishing in-flight work");
+        shared
+            .stats
+            .drained_in_flight
+            .fetch_add(backlog as u64 + shared.inflight.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
+        loop {
+            let empty = shared.queue.lock().expect("queue poisoned").is_empty();
+            if empty && shared.inflight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        shared.done.store(true, Ordering::SeqCst);
+        shared.work_cv.notify_all();
+    });
+    dispatcher.join().expect("dispatcher panicked");
+    watchdog.join().expect("watchdog panicked");
+
+    let (index_shards, index_entries) = runner.stage("flush-index", || shared.engine.flush_index());
+
+    let stats = &shared.stats;
+    let summary = DrainSummary {
+        accepted: stats.accepted.load(Ordering::Relaxed),
+        ok: stats.ok.load(Ordering::Relaxed),
+        errors: stats.errors.load(Ordering::Relaxed),
+        panics: stats.panics.load(Ordering::Relaxed),
+        deadline_exceeded: stats.deadline_exceeded.load(Ordering::Relaxed),
+        rejected_overloaded: stats.rejected_overloaded.load(Ordering::Relaxed),
+        shed: stats.shed.load(Ordering::Relaxed),
+        rejected_draining: stats.rejected_draining.load(Ordering::Relaxed),
+        bad_lines: stats.bad_lines.load(Ordering::Relaxed),
+        drained_in_flight: stats.drained_in_flight.load(Ordering::Relaxed),
+        index_shards,
+        index_entries,
+        wall_s: started.elapsed().as_secs_f64(),
+        provenance: shared.provenance.clone(),
+    };
+    runner.stage("drain-summary", || {
+        let path = mica_experiments::results_dir().join("serve-drain.json");
+        let json = serde_json::to_string_pretty(&summary).expect("DrainSummary serializes");
+        if let Err(e) = mica_fault::atomic_write_retry("serve-drain", &path, json.as_bytes()) {
+            obs::warn!("cannot write drain summary {}: {e}", path.display());
+        } else {
+            obs::info!("drain summary written to {}", path.display());
+        }
+    });
+    runner.finish();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_fires_expired_and_forgets_orphans() {
+        let wd = Watchdog { entries: Mutex::new(Vec::new()) };
+        let now = Instant::now();
+        let expired = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicBool::new(false));
+        wd.register(now - Duration::from_millis(1), Arc::clone(&expired));
+        wd.register(now + Duration::from_secs(60), Arc::clone(&live));
+        // An orphan: the job finished and dropped its clone already.
+        wd.register(now + Duration::from_secs(60), Arc::new(AtomicBool::new(false)));
+        wd.sweep(Instant::now());
+        assert!(expired.load(Ordering::Relaxed));
+        assert!(!live.load(Ordering::Relaxed));
+        assert_eq!(wd.entries.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drain_summary_round_trips() {
+        let summary = DrainSummary {
+            accepted: 5,
+            ok: 3,
+            errors: 1,
+            panics: 1,
+            deadline_exceeded: 0,
+            rejected_overloaded: 2,
+            shed: 1,
+            rejected_draining: 1,
+            bad_lines: 0,
+            drained_in_flight: 2,
+            index_shards: 4,
+            index_entries: 7,
+            wall_s: 1.25,
+            provenance: Provenance {
+                server: "mica-serve test".into(),
+                table_fingerprint: 1,
+                profile_fingerprint: 2,
+                scale: 1.0,
+                backend: "batch".into(),
+                threads: 4,
+                selected_metrics: vec![0, 3],
+                ga_rho: 0.8,
+                env: vec![],
+            },
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: DrainSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+    }
+}
