@@ -133,6 +133,10 @@ fn report_path(bin: &str) -> PathBuf {
 pub struct Runner {
     bin: &'static str,
     started: Instant,
+    /// Keeps the run's [`obs::TraceContext`] installed for the run's
+    /// lifetime, so every stage and pool span shares one trace id.
+    /// Dropped after `run_span` (LIFO) in [`finish`](Runner::finish).
+    ctx_guard: obs::ContextGuard,
     run_span: obs::Span,
     stages: Vec<StageSummary>,
     quarantined: Vec<Quarantine>,
@@ -140,8 +144,10 @@ pub struct Runner {
 
 impl Runner {
     /// Start a run for binary `bin`: registers the profiling counters (so
-    /// they appear at zero in the summary even on cache-free paths), opens
-    /// the run-level span, and announces the run configuration at info.
+    /// they appear at zero in the summary even on cache-free paths), mints
+    /// the run's trace context (every span of the run shares its trace
+    /// id), opens the run-level span, and announces the run configuration
+    /// at info.
     pub fn new(bin: &'static str) -> Runner {
         crate::profile::register_counters();
         let threads = mica_par::num_threads();
@@ -149,12 +155,22 @@ impl Runner {
         // Resolve the backend up front so a bad MICA_BACKEND aborts before
         // any work, not 122 quarantines into the profile stage.
         let backend = mica_core::Backend::from_env();
+        let ctx = obs::TraceContext::fresh();
+        let ctx_guard = obs::install_context(Some(ctx));
         let mut run_span = obs::span("run", bin);
         run_span.attr("threads", threads as u64);
         run_span.attr("scale", scale);
         run_span.attr("backend", backend.name());
+        run_span.attr("trace", ctx.trace_hex());
         obs::info!("{bin}: starting ({threads} threads, scale {scale}, backend {backend})");
-        Runner { bin, started: Instant::now(), run_span, stages: Vec::new(), quarantined: Vec::new() }
+        Runner {
+            bin,
+            started: Instant::now(),
+            ctx_guard,
+            run_span,
+            stages: Vec::new(),
+            quarantined: Vec::new(),
+        }
     }
 
     /// Record benchmarks quarantined during this run, so the run summary
@@ -180,7 +196,7 @@ impl Runner {
     /// written is warned about, never fatal — the run's real outputs are
     /// the tables and figures.
     pub fn finish(self) -> RunSummary {
-        let Runner { bin, started, mut run_span, stages, quarantined } = self;
+        let Runner { bin, started, ctx_guard, mut run_span, stages, quarantined } = self;
         let summary = RunSummary {
             bin: bin.to_string(),
             scale: crate::scale(),
@@ -213,7 +229,9 @@ impl Runner {
             Err(e) => obs::warn!("{bin}: cannot write run summary {}: {e}", path.display()),
         }
         run_span.attr("wall_s", summary.wall_s);
+        // The span must close inside its context (LIFO with the guard).
         drop(run_span);
+        drop(ctx_guard);
         obs::flush();
         summary
     }

@@ -48,8 +48,11 @@ fn batch_backend_is_byte_identical_to_ref() {
 }
 
 /// Observability must be a pure observer: running the identical sweep with
-/// a Chrome-trace sink and a JSON-lines sink attached cannot change a
-/// single byte of the scientific output.
+/// a Chrome-trace sink and a JSON-lines sink attached — under an installed
+/// request-style [`mica_obs::TraceContext`], with concurrent ops-plane
+/// scrapes (windowed counter/histogram snapshots, the reads `ops metrics`
+/// and `stats` perform) — cannot change a single byte of the scientific
+/// output.
 #[test]
 fn tracing_does_not_change_results() {
     std::env::set_var("MICA_THREADS", "4");
@@ -67,7 +70,31 @@ fn tracing_does_not_change_results() {
     let events = mica_obs::add_sink(Box::new(
         mica_obs::JsonLinesSink::create(events_path.clone()).expect("events file opens"),
     ));
-    let traced = profile_all(1e-9).expect("traced profiling succeeds").set;
+    let traced = {
+        // The serve daemon runs every request under an installed context
+        // while ops scrapes read the windowed metrics from other threads;
+        // reproduce both here around the sweep.
+        let ctx = mica_obs::TraceContext::fresh();
+        let _guard = mica_obs::install_context(Some(ctx));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let scraper = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = mica_obs::counters_windowed();
+                    let _ = mica_obs::histograms_windowed();
+                    scrapes += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                scrapes
+            })
+        };
+        let set = profile_all(1e-9).expect("traced profiling succeeds").set;
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(scraper.join().expect("scraper thread") > 0, "no scrapes ran");
+        set
+    };
     mica_obs::flush();
     mica_obs::remove_sink(trace);
     mica_obs::remove_sink(events);

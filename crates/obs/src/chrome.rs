@@ -66,9 +66,18 @@ impl Sink for ChromeTraceSink {
         obj.push_str(&span.dur_us.to_string());
         obj.push_str(",\"pid\":1,\"tid\":");
         obj.push_str(&span.tid.to_string());
-        obj.push_str(",\"args\":");
+        // Context ids ride in args (the Trace Event Format has no
+        // first-class span ids for "X" events): trace groups one
+        // request's spans, span/parent rebuild the tree.
+        obj.push_str(",\"args\":{\"trace\":");
+        obj.push_str(&span.trace_id.to_string());
+        obj.push_str(",\"span\":");
+        obj.push_str(&span.span_id.to_string());
+        obj.push_str(",\"parent\":");
+        obj.push_str(&span.parent_id.to_string());
+        obj.push_str(",\"attrs\":");
         push_json_attrs(&mut obj, &span.attrs);
-        obj.push('}');
+        obj.push_str("}}");
         self.events.lock().expect("trace buffer poisoned").push(obj);
     }
 

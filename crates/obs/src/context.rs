@@ -1,0 +1,204 @@
+//! Request-scoped trace context, propagated across threads by `mica-par`.
+//!
+//! A [`TraceContext`] names one logical operation (a serve request, a
+//! pipeline stage) with a process-unique `trace_id` and the `span_id` of
+//! the innermost open span of that operation. The context lives in a
+//! thread-local; [`span`](crate::span) reads it to stamp every
+//! [`SpanRecord`](crate::SpanRecord) with `(trace_id, span_id,
+//! parent_id)` and replaces it with its own ids for the span's scope, so
+//! nesting falls out of ordinary RAII. Crossing a thread boundary is the
+//! only manual step: capture [`current_context`] on the submitting
+//! thread, [`install_context`] on the worker (the `mica-par` pool does
+//! both, so `par_map` callers inherit propagation for free).
+//!
+//! Ids are plain `u64`s. `span_id`s come from one process-wide allocator
+//! and are never reused; `trace_id`s mix a per-process seed (wall clock ⊕
+//! address-space noise) with an allocation counter so two daemon restarts
+//! do not collide in merged logs. `0` is reserved: a span outside any
+//! context records `trace_id = 0` ("untraced") and `parent_id = 0`
+//! ("root").
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The identity of one logical operation: which trace the current work
+/// belongs to and which span is its immediate parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Process-unique id shared by every span of one operation. Never 0.
+    pub trace_id: u64,
+    /// The span new child spans should parent to. Never 0.
+    pub span_id: u64,
+}
+
+/// Next span id; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Trace ids allocated so far (mixed with the seed, below).
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // A stack address varies with ASLR — cheap extra entropy so two
+        // processes started in the same nanosecond still diverge.
+        let marker = 0u8;
+        t ^ (std::ptr::addr_of!(marker) as u64).rotate_left(32)
+    })
+}
+
+/// splitmix64 finalizer: a bijection on u64, so distinct inputs give
+/// distinct (and well-scrambled) trace ids.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Allocate a process-unique span id (never 0).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl TraceContext {
+    /// A brand-new context for the root of an operation: fresh trace id,
+    /// fresh span id. The caller owns emitting the matching root span
+    /// (see [`emit_span_record`](crate::emit_span_record)).
+    pub fn fresh() -> TraceContext {
+        let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        let trace_id = mix(process_seed().wrapping_add(n)).max(1);
+        TraceContext { trace_id, span_id: next_span_id() }
+    }
+
+    /// The trace id as the fixed-width lowercase hex string used in
+    /// responses and logs (`"%016x"`).
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+}
+
+/// The calling thread's current context, if any. Capture this before
+/// handing work to another thread, then [`install_context`] it there.
+pub fn current_context() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Install `ctx` as the calling thread's current context until the
+/// returned guard drops (which restores whatever was current before).
+/// Pass `None` to explicitly detach a scope from any ambient trace.
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn install_context(ctx: Option<TraceContext>) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    ContextGuard { prev }
+}
+
+/// RAII guard from [`install_context`]; restores the previous context on
+/// drop. Guards must drop in LIFO order on a thread, like span guards.
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Swap in a child context for an opening span: the span inherits the
+/// current trace (0 if none), parents to the current span (0 if none),
+/// and becomes the current context itself. Returns
+/// `(trace_id, span_id, parent_id, previous)` for the span to record and
+/// restore.
+pub(crate) fn enter_span() -> (u64, u64, u64, Option<TraceContext>) {
+    let span_id = next_span_id();
+    CURRENT.with(|c| {
+        let prev = c.get();
+        let (trace_id, parent_id) = match prev {
+            Some(ctx) => (ctx.trace_id, ctx.span_id),
+            None => (0, 0),
+        };
+        // A span outside any trace still installs itself (with trace 0)
+        // so its children chain to it; the whole subtree stays connected
+        // even when nobody minted a root context.
+        c.set(Some(TraceContext { trace_id, span_id }));
+        (trace_id, span_id, parent_id, prev)
+    })
+}
+
+/// Restore the pre-span context when the span closes.
+pub(crate) fn exit_span(prev: Option<TraceContext>) {
+    CURRENT.with(|c| c.set(prev));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_contexts_are_distinct_and_nonzero() {
+        let a = TraceContext::fresh();
+        let b = TraceContext::fresh();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.span_id, b.span_id);
+        assert_eq!(a.trace_hex().len(), 16);
+    }
+
+    #[test]
+    fn install_restores_on_drop_and_nests() {
+        assert_eq!(current_context(), None);
+        let outer = TraceContext::fresh();
+        {
+            let _g = install_context(Some(outer));
+            assert_eq!(current_context(), Some(outer));
+            let inner = TraceContext::fresh();
+            {
+                let _g2 = install_context(Some(inner));
+                assert_eq!(current_context(), Some(inner));
+            }
+            assert_eq!(current_context(), Some(outer));
+            {
+                let _g3 = install_context(None);
+                assert_eq!(current_context(), None, "None detaches");
+            }
+            assert_eq!(current_context(), Some(outer));
+        }
+        assert_eq!(current_context(), None);
+    }
+
+    #[test]
+    fn enter_span_chains_ids() {
+        let root = TraceContext::fresh();
+        let _g = install_context(Some(root));
+        let (trace, span, parent, prev) = enter_span();
+        assert_eq!(trace, root.trace_id);
+        assert_eq!(parent, root.span_id);
+        assert_ne!(span, root.span_id);
+        assert_eq!(current_context(), Some(TraceContext { trace_id: trace, span_id: span }));
+        exit_span(prev);
+        assert_eq!(current_context(), Some(root));
+    }
+
+    #[test]
+    fn enter_span_without_context_is_untraced_but_connected() {
+        let _detach = install_context(None);
+        let (trace, span, parent, prev) = enter_span();
+        assert_eq!(trace, 0);
+        assert_eq!(parent, 0);
+        assert_ne!(span, 0);
+        let (trace2, _span2, parent2, prev2) = enter_span();
+        assert_eq!(trace2, 0);
+        assert_eq!(parent2, span, "child chains to the untraced parent");
+        exit_span(prev2);
+        exit_span(prev);
+    }
+}

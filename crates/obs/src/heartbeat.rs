@@ -53,7 +53,10 @@ fn static_name(name: String) -> &'static str {
 }
 
 /// Emit one heartbeat event: sequence number, dispatch totals, allocation
-/// totals, and every registered counter as a structured attribute.
+/// totals, every registered counter, and a summary of every registered
+/// histogram (count / sum / p50 / p95 / p99 over its lifetime, plus the
+/// rolling-window count and p99) — so a JSONL stream carries quantile
+/// trajectories, not just counter trajectories.
 fn beat(seq: u64) {
     let mut attrs: Vec<(&'static str, Attr)> = Vec::new();
     attrs.push(("seq", Attr::U64(seq)));
@@ -65,6 +68,24 @@ fn beat(seq: u64) {
     attrs.push(("alloc_b", Attr::U64(alloc_b)));
     for (name, value) in crate::counters() {
         attrs.push((static_name(name), Attr::U64(value)));
+    }
+    let windowed = crate::histograms_windowed();
+    for snap in crate::histograms() {
+        attrs.push((static_name(format!("{}.count", snap.name)), Attr::U64(snap.count)));
+        attrs.push((static_name(format!("{}.sum", snap.name)), Attr::U64(snap.sum)));
+        for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            attrs.push((
+                static_name(format!("{}.{label}", snap.name)),
+                Attr::U64(snap.quantile_upper_bound(q)),
+            ));
+        }
+        if let Some(w) = windowed.iter().find(|w| w.name == snap.name) {
+            attrs.push((static_name(format!("{}.win.count", snap.name)), Attr::U64(w.count)));
+            attrs.push((
+                static_name(format!("{}.win.p99", snap.name)),
+                Attr::U64(w.quantile_upper_bound(0.99)),
+            ));
+        }
     }
     crate::emit_with(Level::Info, "mica_obs::heartbeat", "heartbeat".to_string(), attrs);
 }
@@ -114,6 +135,39 @@ mod tests {
         for bad in ["", "fast", "-1s", "0", "NaNs"] {
             assert_eq!(parse_period(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn beat_carries_counters_and_histogram_snapshots() {
+        static C: crate::Counter = crate::Counter::new("obs.test.beat.counter");
+        static H: crate::Histogram = crate::Histogram::new("obs.test.beat.hist");
+        C.add(2);
+        for v in [1u64, 10, 100] {
+            H.record(v);
+        }
+        let sink = crate::MemorySink::new();
+        let id = crate::add_sink(Box::new(sink.clone()));
+        beat(7);
+        crate::remove_sink(id);
+        let beats: Vec<crate::Event> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.target == "mica_obs::heartbeat")
+            .collect();
+        assert_eq!(beats.len(), 1);
+        let attrs = &beats[0].attrs;
+        let get = |key: &str| attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone());
+        assert_eq!(get("seq"), Some(crate::Attr::U64(7)));
+        assert!(matches!(get("obs.test.beat.counter"), Some(crate::Attr::U64(n)) if n >= 2));
+        // Histogram summaries ride along — the fix this test pins: the
+        // heartbeat used to emit counters only.
+        assert!(matches!(get("obs.test.beat.hist.count"), Some(crate::Attr::U64(n)) if n >= 3));
+        assert!(get("obs.test.beat.hist.sum").is_some());
+        assert!(get("obs.test.beat.hist.p50").is_some());
+        assert!(get("obs.test.beat.hist.p95").is_some());
+        assert!(get("obs.test.beat.hist.p99").is_some());
+        assert!(get("obs.test.beat.hist.win.count").is_some());
+        assert!(get("obs.test.beat.hist.win.p99").is_some());
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //!
 //! ```json
 //! {"t":"event","ts_us":123,"tid":0,"level":"info","target":"…","msg":"…","attrs":{…}}
-//! {"t":"span","ts_us":120,"dur_us":15,"tid":1,"depth":0,"cat":"…","name":"…","attrs":{…}}
+//! {"t":"span","ts_us":120,"dur_us":15,"tid":1,"depth":0,"trace":7,"span":9,"parent":8,"cat":"…","name":"…","attrs":{…}}
 //! {"t":"flush","events":41,"spans":128,"dropped_lines":0}
 //! ```
+//!
+//! `trace`/`span`/`parent` are the propagated [`crate::TraceContext`]
+//! ids (0 = untraced / root); consumers can rebuild each request's span
+//! tree without relying on interval containment.
 //!
 //! Lines are buffered in memory and the whole file is rewritten atomically
 //! (temp-then-rename with bounded retry, via `mica_fault::io`) on each
@@ -104,6 +108,12 @@ impl Sink for JsonLinesSink {
         line.push_str(&span.tid.to_string());
         line.push_str(",\"depth\":");
         line.push_str(&span.depth.to_string());
+        line.push_str(",\"trace\":");
+        line.push_str(&span.trace_id.to_string());
+        line.push_str(",\"span\":");
+        line.push_str(&span.span_id.to_string());
+        line.push_str(",\"parent\":");
+        line.push_str(&span.parent_id.to_string());
         line.push_str(",\"cat\":");
         push_json_str(&mut line, span.cat);
         line.push_str(",\"name\":");

@@ -44,15 +44,21 @@
 
 pub mod alloc;
 mod chrome;
+mod context;
 mod counters;
 mod heartbeat;
 mod jsonl;
 mod sink;
 
 pub use chrome::ChromeTraceSink;
+pub use context::{
+    current_context, install_context, next_span_id, ContextGuard, TraceContext,
+};
 pub use heartbeat::start_heartbeat;
 pub use counters::{
-    counters, histograms, reset_metrics, Counter, Histogram, HistogramSnapshot,
+    counters, counters_windowed, histograms, histograms_windowed, reset_metrics,
+    set_window_clock_ms_for_tests, window_span_ms, Counter, Histogram, HistogramSnapshot,
+    WINDOW_SLOTS, WINDOW_SLOT_MS,
 };
 pub use jsonl::JsonLinesSink;
 pub use sink::{MemorySink, Record, Sink, StderrSink};
@@ -229,6 +235,13 @@ pub struct SpanRecord {
     pub tid: u64,
     /// Nesting depth on that thread at open time (0 = top level).
     pub depth: u32,
+    /// Trace this span belongs to (0 = opened outside any
+    /// [`TraceContext`]).
+    pub trace_id: u64,
+    /// Process-unique id of this span (never 0).
+    pub span_id: u64,
+    /// Id of the parent span (0 = root of its trace / untraced tree).
+    pub parent_id: u64,
     /// Span category (e.g. `"profile"`, `"par"`, `"ga"`).
     pub cat: &'static str,
     /// Span name (e.g. a kernel name).
@@ -462,6 +475,14 @@ fn now_us() -> u64 {
     state().epoch.elapsed().as_micros() as u64
 }
 
+/// Microseconds since the process-wide observability epoch — the same
+/// clock every [`SpanRecord::ts_us`] uses. Callers that synthesize spans
+/// with explicit start times ([`emit_span_record`]) read it to stamp
+/// their timestamps in the same timeline.
+pub fn timestamp_us() -> u64 {
+    now_us()
+}
+
 // ---------------------------------------------------------------------------
 // Thread identity
 // ---------------------------------------------------------------------------
@@ -514,6 +535,20 @@ pub fn set_worker(index: usize) {
     let id = 1 + index as u64;
     TID.with(|t| t.set(id));
     register_thread_name(id, format!("worker-{index}"));
+}
+
+/// Claim a *stable* logical thread id for a long-lived service thread
+/// (daemon dispatcher, watchdog, accept loop) and name its trace track.
+/// Slots are caller-assigned and map to tids `900 + slot`, a range
+/// disjoint from the main thread (0), pool workers (1+) and anonymous
+/// threads (1000+), so the same service lands on the same Chrome-trace
+/// track in every run. Callers must use distinct slots for distinct
+/// services; `slot` is clamped below 100 to keep the range closed.
+pub fn set_service_thread(slot: u64, name: &str) {
+    let id = 900 + slot.min(99);
+    TID.with(|t| t.set(id));
+    let mut names = state().thread_names.lock().expect("thread names poisoned");
+    names.insert(id, name.to_string());
 }
 
 /// Snapshot of every (tid, name) seen so far, ascending by tid. The
@@ -618,6 +653,12 @@ struct SpanInner {
     ts_us: u64,
     tid: u64,
     depth: u32,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    /// The thread's context before this span installed itself; restored
+    /// at close.
+    prev_ctx: Option<TraceContext>,
     attrs: Vec<(&'static str, Attr)>,
     /// Thread (allocations, bytes) at open time, when `MICA_ALLOC`
     /// tracking was on; the close attaches the delta as `alloc_n` /
@@ -643,12 +684,17 @@ pub fn span(cat: &'static str, name: impl Into<String>) -> Span {
         d.set(v + 1);
         v
     });
+    let (trace_id, span_id, parent_id, prev_ctx) = context::enter_span();
     Span(Some(SpanInner {
         cat,
         name: name.into(),
         ts_us: now_us(),
         tid: current_tid(),
         depth,
+        trace_id,
+        span_id,
+        parent_id,
+        prev_ctx,
         attrs: Vec::new(),
         alloc0: alloc::enabled().then(alloc::thread_totals),
     }))
@@ -676,6 +722,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(mut inner) = self.0.take() else { return };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        context::exit_span(inner.prev_ctx);
         if let Some((n0, b0)) = inner.alloc0 {
             let (n1, b1) = alloc::thread_totals();
             inner.attrs.push(("alloc_n", Attr::U64(n1.saturating_sub(n0))));
@@ -690,16 +737,35 @@ impl Drop for Span {
             dur_us: now_us().saturating_sub(inner.ts_us),
             tid: inner.tid,
             depth: inner.depth,
+            trace_id: inner.trace_id,
+            span_id: inner.span_id,
+            parent_id: inner.parent_id,
             cat: inner.cat,
             name: inner.name,
             attrs: inner.attrs,
         };
-        SPANS_DISPATCHED.fetch_add(1, Ordering::Relaxed);
-        let sinks = state().sinks.read().expect("sink registry poisoned");
-        for (_, sink) in sinks.iter() {
-            if sink.wants_spans() {
-                sink.on_span(&record);
-            }
+        emit_span_record(record);
+    }
+}
+
+/// Deliver a pre-built [`SpanRecord`] to every span-recording sink.
+///
+/// This is the escape hatch for *synthetic* spans whose lifetime does not
+/// match a lexical scope — e.g. the serve daemon's per-request root span,
+/// which opens at admission on one thread and closes after the response
+/// is written on another. The caller supplies explicit `ts_us` (from
+/// [`timestamp_us`]) and ids (from [`TraceContext::fresh`] /
+/// [`next_span_id`]); nothing is added or checked. No-op when spans are
+/// disabled.
+pub fn emit_span_record(record: SpanRecord) {
+    if !spans_enabled() {
+        return;
+    }
+    SPANS_DISPATCHED.fetch_add(1, Ordering::Relaxed);
+    let sinks = state().sinks.read().expect("sink registry poisoned");
+    for (_, sink) in sinks.iter() {
+        if sink.wants_spans() {
+            sink.on_span(&record);
         }
     }
 }
@@ -823,6 +889,62 @@ mod tests {
         // Inner is contained in outer.
         assert!(spans[0].ts_us >= spans[1].ts_us);
         assert!(spans[0].ts_us + spans[0].dur_us <= spans[1].ts_us + spans[1].dur_us);
+    }
+
+    #[test]
+    fn spans_record_connected_context_ids() {
+        let sink = MemorySink::new();
+        let id = add_sink(Box::new(sink.clone()));
+        let root = TraceContext::fresh();
+        {
+            let _g = install_context(Some(root));
+            let _outer = span("obs-test-ctx", "outer");
+            let _inner = span("obs-test-ctx", "inner");
+        }
+        let _stray = span("obs-test-ctx", "stray");
+        drop(_stray);
+        remove_sink(id);
+        let spans: Vec<SpanRecord> =
+            sink.spans().into_iter().filter(|s| s.cat == "obs-test-ctx").collect();
+        assert_eq!(spans.len(), 3);
+        let (inner, outer, stray) = (&spans[0], &spans[1], &spans[2]);
+        assert_eq!(outer.trace_id, root.trace_id);
+        assert_eq!(outer.parent_id, root.span_id, "outer parents to the installed context");
+        assert_eq!(inner.trace_id, root.trace_id);
+        assert_eq!(inner.parent_id, outer.span_id, "inner parents to outer");
+        assert_ne!(inner.span_id, outer.span_id);
+        // Outside the guard the thread is untraced again.
+        assert_eq!(stray.trace_id, 0);
+        assert_eq!(stray.parent_id, 0);
+        assert_ne!(stray.span_id, 0);
+    }
+
+    #[test]
+    fn synthetic_span_records_reach_sinks_verbatim() {
+        let sink = MemorySink::new();
+        let id = add_sink(Box::new(sink.clone()));
+        let ctx = TraceContext::fresh();
+        let ts = timestamp_us();
+        emit_span_record(SpanRecord {
+            ts_us: ts,
+            dur_us: 42,
+            tid: 900,
+            depth: 0,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: 0,
+            cat: "obs-test-synth",
+            name: "request".to_string(),
+            attrs: vec![("outcome", Attr::Str("ok".to_string()))],
+        });
+        remove_sink(id);
+        let spans: Vec<SpanRecord> =
+            sink.spans().into_iter().filter(|s| s.cat == "obs-test-synth").collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].ts_us, ts);
+        assert_eq!(spans[0].dur_us, 42);
+        assert_eq!(spans[0].trace_id, ctx.trace_id);
+        assert_eq!(spans[0].span_id, ctx.span_id);
     }
 
     #[test]

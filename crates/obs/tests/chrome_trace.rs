@@ -98,7 +98,15 @@ fn trace_file_is_perfetto_shaped() {
         .iter()
         .find(|x| as_str(field(x, "name")) == "task-0")
         .expect("task-0 span present");
-    assert_eq!(as_u64(field(field(task0, "args"), "w")), 0);
+    // Span args nest the user attrs beside the context ids.
+    assert_eq!(as_u64(field(field(field(task0, "args"), "attrs"), "w")), 0);
+    for x in &complete {
+        let args = field(x, "args");
+        field(args, "trace");
+        let span_id = as_u64(field(args, "span"));
+        assert_ne!(span_id, 0, "every span carries a nonzero span id");
+        field(args, "parent");
+    }
 
     // Per-track stack discipline: within each tid, intervals either nest
     // or are disjoint — never partially overlap. This is what makes the

@@ -115,6 +115,13 @@ where
     let mut pool_span = obs::span("par", "par_map");
     pool_span.attr("items", n as u64);
     pool_span.attr("threads", threads as u64);
+    // Capture the submitting thread's trace context *after* the pool span
+    // opened, so worker-side chunk spans parent to the pool span and the
+    // whole fan-out stays one connected tree under the submitter's trace
+    // (e.g. a serve request). `None` when untraced — installing that is
+    // an explicit detach, which keeps a worker from inheriting a stale
+    // context from whatever it ran previously.
+    let submitted_ctx = obs::current_context();
 
     // Aim for several chunks per worker so uneven item costs rebalance.
     let chunk = (n / (threads * 4)).clamp(1, MAX_CHUNK);
@@ -128,6 +135,7 @@ where
         for w in 0..threads {
             scope.spawn(move || {
                 obs::set_worker(w);
+                let _ctx = obs::install_context(submitted_ctx);
                 let mut claimed = 0u64;
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);

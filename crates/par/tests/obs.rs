@@ -69,6 +69,15 @@ fn pool_spans_nest_per_worker_and_counters_add_up() {
         }
     }
 
+    // Context propagation: every chunk span parents to the pool span that
+    // submitted it (workers inherit the submitter's context), sharing its
+    // trace id — here 0, because no TraceContext was installed.
+    for c in &chunks {
+        assert_eq!(c.parent_id, pools[0].span_id, "chunk orphaned from its pool span");
+        assert_eq!(c.trace_id, pools[0].trace_id);
+    }
+    assert_eq!(pools[0].trace_id, 0, "untraced caller yields trace 0");
+
     // Counters: every task accounted for, chunk count consistent with the
     // span stream, steals are chunks beyond each worker's first.
     let counters = mica_obs::counters();

@@ -7,10 +7,12 @@
 //!                     [--max-ratio R] [--min-abs-s S]
 //! mica-prof heat      --dir DIR [--top K] [--svg FILE]
 //! mica-prof heat-diff BEFORE AFTER [--threshold T]
+//! mica-prof slo       ACCESS_LOG [--slo-ms N] [--target X]
 //! ```
 //!
 //! Exit codes: 0 success / gate passed, 1 usage or I/O error, 2 the gate
-//! found a performance regression or `heat-diff` found hotspot drift.
+//! found a performance regression, `heat-diff` found hotspot drift, or
+//! `slo` found the latency objective breached.
 
 use mica_experiments::runner::RunSummary;
 use mica_prof::analysis;
@@ -26,8 +28,9 @@ const USAGE: &str = "usage:
   mica-prof check     --summary FILE --baseline FILE [--max-ratio R] [--min-abs-s S]
   mica-prof heat      --dir DIR [--top K] [--svg FILE]
   mica-prof heat-diff BEFORE AFTER [--threshold T]
+  mica-prof slo       ACCESS_LOG [--slo-ms N] [--target X]
 
-exit codes: 0 ok, 1 usage/io error, 2 performance regression / hotspot drift";
+exit codes: 0 ok, 1 usage/io error, 2 performance regression / hotspot drift / SLO breach";
 
 /// Flag parser over `--key value` / `--key=value` pairs, plus bare
 /// positional operands (`heat-diff BEFORE AFTER`).
@@ -195,6 +198,43 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
+/// Audit a serve access log against the latency objective. The objective
+/// defaults to the same environment knobs the server reads
+/// (`MICA_SERVE_SLO_MS`, `MICA_SERVE_SLO_TARGET`), so gating a drained
+/// run needs no repeated configuration.
+fn cmd_slo(args: &Args) -> Result<ExitCode, String> {
+    let [log_path] = args.free.as_slice() else {
+        return Err("slo needs exactly one access-log path".to_string());
+    };
+    let slo_ms = match args.get("slo-ms") {
+        Some(v) => v.parse().map_err(|_| format!("bad --slo-ms {v:?}"))?,
+        None => match std::env::var("MICA_SERVE_SLO_MS") {
+            Ok(v) => v.trim().parse().map_err(|_| format!("bad MICA_SERVE_SLO_MS {v:?}"))?,
+            Err(_) => 1_000,
+        },
+    };
+    let target: f64 = match args.get("target") {
+        Some(v) => v.parse().map_err(|_| format!("bad --target {v:?}"))?,
+        None => match std::env::var("MICA_SERVE_SLO_TARGET") {
+            Ok(v) => v.trim().parse().map_err(|_| format!("bad MICA_SERVE_SLO_TARGET {v:?}"))?,
+            Err(_) => 0.99,
+        },
+    };
+    if !(0.0..1.0).contains(&target) {
+        return Err(format!("target {target} must be in [0, 1)"));
+    }
+    let text = std::fs::read_to_string(log_path)
+        .map_err(|e| format!("cannot read access log {log_path}: {e}"))?;
+    let report = mica_prof::slo::audit(&text, slo_ms, target);
+    print!("{}", mica_prof::slo::render(&report));
+    if report.breached() {
+        eprintln!("mica-prof: SLO breached");
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
@@ -207,6 +247,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "heat" => cmd_heat(&args),
         "heat-diff" => cmd_heat_diff(&args),
+        "slo" => cmd_slo(&args),
         other => Err(format!("unknown command {other:?}")),
     });
     match run {

@@ -16,7 +16,10 @@
 //!   (median-of-N baseline, relative × absolute thresholds);
 //! - [`heat`] loads the PMU heat artifacts (`results/heat/*.json`,
 //!   written by `MICA_PMU=1` profiling runs) and diffs hotspot shares
-//!   across runs.
+//!   across runs;
+//! - [`slo`] replays the serve daemon's access log
+//!   (`results/serve-access.jsonl`) and recomputes latency-objective
+//!   attainment offline, independent of the daemon's own counters.
 //!
 //! The `mica-prof` binary fronts all four: `analyze` renders a report
 //! (`--json` for the machine-readable [`analysis::JsonReport`]), `record`
@@ -27,6 +30,7 @@
 pub mod analysis;
 pub mod baseline;
 pub mod heat;
+pub mod slo;
 pub mod trace;
 
 #[cfg(test)]

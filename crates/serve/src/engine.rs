@@ -170,7 +170,8 @@ impl Engine {
     /// load-shedding watermark, expensive ones are shed.
     pub fn is_cheap(&self, req: &Request) -> bool {
         match req.kind {
-            RequestKind::Table => true,
+            // Ops queries never reach the queue, but admission still asks.
+            RequestKind::Table | RequestKind::Ops => true,
             RequestKind::Zoo | RequestKind::Asm => match submission_key(req) {
                 Some(key) => self.index.lock().expect("index poisoned").contains_key(&key),
                 None => false,
@@ -316,6 +317,9 @@ impl Engine {
                 let display = format!("asm:{:016x}", fnv1a(text.as_bytes()));
                 self.simulate(&mut vm, req.budget, deadline_at, cancel, cfg, key, display)
             }
+            // The server answers ops on the reader thread; one slipping
+            // through to the engine is a dispatch bug, answered loudly.
+            RequestKind::Ops => Err(Outcome::fail("ops requests are not executable submissions")),
         }
     }
 
@@ -410,7 +414,7 @@ impl Engine {
 /// not cached (`table` answers live in the profile set).
 fn submission_key(req: &Request) -> Option<String> {
     match req.kind {
-        RequestKind::Table => None,
+        RequestKind::Table | RequestKind::Ops => None,
         RequestKind::Zoo => {
             let name = req.name.as_deref()?;
             Some(format!(

@@ -10,13 +10,23 @@
 //! → {"id":"q1","kind":"table","name":"MiBench/sha/large","k":3}
 //! → {"id":"q2","kind":"zoo","name":"MiBench/sha/large","seed":7,"scale":0.5}
 //! → {"id":"q3","kind":"asm","asm":"li x7, 99\nloop:\naddi x7, x7, -1\nbne x7, x0, loop\nhalt","budget":50000,"deadline_ms":500}
-//! ← {"id":"q1","status":"ok","error":null,"retry_after_ms":null,"result":{...},"provenance":{...}}
+//! → {"id":"q4","kind":"ops","op":"metrics"}
+//! ← {"id":"q1","status":"ok","error":null,"retry_after_ms":null,"result":{...},"provenance":{...},"trace":"0123456789abcdef","ops":null}
 //! ```
 //!
 //! Statuses: `ok`, `error` (bad request / failed execution), `panic`
 //! (submission quarantined), `deadline` (cancelled past its deadline),
 //! `overloaded` and `draining` (admission rejections; `retry_after_ms`
 //! hints when to retry).
+//!
+//! The `ops` family (`op`: `health`, `ready`, `metrics`, `stats`) is
+//! answered on the reader thread, bypasses the admission queue entirely,
+//! and keeps answering during a drain — it is the daemon's live control
+//! plane, not a submission. Its payload rides in the `ops` field.
+//!
+//! Every response also echoes a server-minted `trace` id (16 lowercase
+//! hex digits) identifying the request's span tree in the `MICA_TRACE` /
+//! `MICA_EVENTS` sinks, so client logs correlate with server traces.
 
 use serde::value::Value;
 use serde::{DeError, Deserialize, Serialize};
@@ -32,6 +42,10 @@ pub enum RequestKind {
     Zoo,
     /// A tinyisa assembly listing (see [`crate::asmtext`]).
     Asm,
+    /// A control-plane query (`op`: `health`/`ready`/`metrics`/`stats`),
+    /// answered immediately on the reader thread — never queued, never
+    /// refused during a drain.
+    Ops,
 }
 
 impl RequestKind {
@@ -41,6 +55,7 @@ impl RequestKind {
             RequestKind::Table => "table",
             RequestKind::Zoo => "zoo",
             RequestKind::Asm => "asm",
+            RequestKind::Ops => "ops",
         }
     }
 
@@ -49,6 +64,7 @@ impl RequestKind {
             "table" => Some(RequestKind::Table),
             "zoo" => Some(RequestKind::Zoo),
             "asm" => Some(RequestKind::Asm),
+            "ops" => Some(RequestKind::Ops),
             _ => None,
         }
     }
@@ -80,6 +96,9 @@ pub struct Request {
     pub k: Option<u64>,
     /// Distance metric: `euclidean` (default) or `cosine`.
     pub metric: Option<String>,
+    /// `ops`: which control-plane query to answer (`health`, `ready`,
+    /// `metrics` or `stats`; defaults to `health`).
+    pub op: Option<String>,
 }
 
 impl Request {
@@ -96,6 +115,7 @@ impl Request {
             deadline_ms: None,
             k: None,
             metric: None,
+            op: None,
         }
     }
 }
@@ -134,8 +154,9 @@ impl Deserialize for Request {
         }
         let id = get_str(v, "id")?.ok_or_else(|| DeError::new("request is missing `id`"))?;
         let kind = get_str(v, "kind")?.ok_or_else(|| DeError::new("request is missing `kind`"))?;
-        let kind = RequestKind::parse(&kind)
-            .ok_or_else(|| DeError::new(format!("unknown kind `{kind}` (want table, zoo or asm)")))?;
+        let kind = RequestKind::parse(&kind).ok_or_else(|| {
+            DeError::new(format!("unknown kind `{kind}` (want table, zoo, asm or ops)"))
+        })?;
         Ok(Request {
             id,
             kind,
@@ -147,6 +168,7 @@ impl Deserialize for Request {
             deadline_ms: get_u64(v, "deadline_ms")?,
             k: get_u64(v, "k")?,
             metric: get_str(v, "metric")?,
+            op: get_str(v, "op")?,
         })
     }
 }
@@ -167,6 +189,7 @@ impl Serialize for Request {
             ("deadline_ms".into(), opt(&self.deadline_ms)),
             ("k".into(), opt(&self.k)),
             ("metric".into(), opt(&self.metric)),
+            ("op".into(), opt(&self.op)),
         ])
     }
 }
@@ -269,6 +292,14 @@ pub struct Response {
     /// Provenance block (present on `ok`; `null` on rejections, which are
     /// not answers).
     pub provenance: Option<Provenance>,
+    /// Server-minted trace id for this request, 16 lowercase hex digits
+    /// ([`mica_obs::TraceContext::trace_hex`]). Present on every outcome —
+    /// including refusals — so client logs correlate with server traces.
+    pub trace: Option<String>,
+    /// Control-plane payload for `ops` answers: the `metrics` text
+    /// exposition, or a one-line JSON document for `health`/`ready`/
+    /// `stats`. `null` on submission answers.
+    pub ops: Option<String>,
 }
 
 impl Response {
@@ -281,6 +312,8 @@ impl Response {
             retry_after_ms: None,
             result: None,
             provenance: None,
+            trace: None,
+            ops: None,
         }
     }
 }
@@ -332,6 +365,10 @@ mod tests {
         assert!(parse_request(r#"{"id":"a","kind":"nope"}"#).unwrap_err().contains("nope"));
         assert!(parse_request("[1,2]").unwrap_err().contains("object"));
         assert!(parse_request("not json").is_err());
+
+        let ops = parse_request(r#"{"id":"m","kind":"ops","op":"metrics"}"#).unwrap();
+        assert_eq!(ops.kind, RequestKind::Ops);
+        assert_eq!(ops.op.as_deref(), Some("metrics"));
     }
 
     #[test]
@@ -373,6 +410,8 @@ mod tests {
                 ga_rho: 0.9,
                 env: vec![EnvEntry { name: "MICA_SCALE".into(), value: "1.0".into() }],
             }),
+            trace: Some("00000000deadbeef".into()),
+            ops: None,
         };
         let line = render_response(&resp);
         let back: Response = serde_json::from_str(&line).unwrap();
@@ -381,9 +420,11 @@ mod tests {
 
     #[test]
     fn refusals_and_id_salvage() {
-        let r = Response::refusal("x", status::OVERLOADED, "queue full");
+        let mut r = Response::refusal("x", status::OVERLOADED, "queue full");
+        r.trace = Some("0000000000000001".into());
         assert_eq!(r.status, "overloaded");
         let line = render_response(&r);
+        assert!(line.contains(r#""trace":"0000000000000001""#), "trace echoed: {line}");
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back, r);
 

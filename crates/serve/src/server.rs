@@ -5,13 +5,18 @@
 //! - the **accept loop** (the thread running [`serve`] or the one
 //!   [`spawn`] starts) polls a non-blocking listener and hands each
 //!   connection to a reader thread; on SIGTERM/SIGINT (or
-//!   [`ServerHandle::shutdown`]) it stops accepting and runs the drain;
-//! - **reader threads** (one per connection) parse request lines and run
-//!   *admission*: `draining` and `overloaded` rejections are written
-//!   right here without ever touching the queue, everything admitted is
-//!   pushed onto the bounded queue with its deadline registered at the
-//!   watchdog — a request's deadline clock starts at admission, queueing
-//!   time counts against it;
+//!   [`ServerHandle::shutdown`]) it keeps accepting — so fresh
+//!   connections can still scrape the `ops` plane mid-drain — until the
+//!   queue and in-flight work are gone, then runs the drain;
+//! - **reader threads** (one per connection) parse request lines, mint
+//!   each request's [`mica_obs::TraceContext`] (echoed as `trace` on
+//!   every response) and run *admission*: `ops` control-plane queries are
+//!   answered right here (bypassing the queue, even mid-drain),
+//!   `draining` and `overloaded` rejections are written right here
+//!   without ever touching the queue, everything admitted is pushed onto
+//!   the bounded queue with its deadline registered at the watchdog — a
+//!   request's deadline clock starts at admission, queueing time counts
+//!   against it;
 //! - the **dispatcher** pops batches off the queue and runs them through
 //!   [`mica_par::par_map_isolated`], so one panicking submission becomes
 //!   one structured `panic` response while its batch-mates complete;
@@ -19,15 +24,26 @@
 //!   flag of any registered request past its deadline — the sliced VM
 //!   loop observes the flag between fuel slices and stops.
 //!
-//! Drain: stop admission (readers answer `draining`), let the dispatcher
-//! finish the queue and in-flight batches, flush the submission index
-//! shards and the [`DrainSummary`] (both via
-//! [`mica_fault::atomic_write_retry`]), write the run summary, flush the
-//! observability sinks, and return — the binary then exits 0.
+//! Every answered request becomes (a) one connected trace — a synthetic
+//! root `request` span (admission → response written) with a `queue` span
+//! and the engine's execution spans parented under it, all sharing the
+//! request's trace id — and (b) one line of the JSONL access log flushed
+//! to `<results>/serve-access.jsonl` on drain. The `MICA_SERVE_SLO_MS` /
+//! `MICA_SERVE_SLO_TARGET` objective is scored per answer (windowed
+//! counters feed `ops` scrapes; lifetime totals feed the
+//! [`DrainSummary`]).
+//!
+//! Drain: stop admission (readers answer `draining`; `ops` stays live so
+//! `ready` can report the drain), let the dispatcher finish the queue and
+//! in-flight batches, flush the submission index shards, the access log,
+//! and the [`DrainSummary`] (all via [`mica_fault::atomic_write_retry`]),
+//! write the run summary, flush the observability sinks, and return — the
+//! binary then exits 0.
 
 use crate::engine::Engine;
 use crate::protocol::{
-    parse_request, render_response, salvage_id, status, EnvEntry, Provenance, Request, Response,
+    parse_request, render_response, salvage_id, status, EnvEntry, Provenance, Request,
+    RequestKind, Response,
 };
 use crate::ServeConfig;
 use mica_experiments::runner::Runner;
@@ -50,10 +66,22 @@ static REJECTED_OVERLOADED: obs::Counter = obs::Counter::new("serve.rejected.ove
 static REJECTED_DRAINING: obs::Counter = obs::Counter::new("serve.rejected.draining");
 static SHED: obs::Counter = obs::Counter::new("serve.shed");
 static BAD_LINES: obs::Counter = obs::Counter::new("serve.bad_lines");
+/// Control-plane (`ops`) queries answered.
+static OPS: obs::Counter = obs::Counter::new("serve.ops");
+/// Answered requests that met the SLO (`ok` within `MICA_SERVE_SLO_MS`).
+static SLO_GOOD: obs::Counter = obs::Counter::new("serve.slo.good");
+/// Answered requests measured against the SLO (every non-refused answer).
+static SLO_TOTAL: obs::Counter = obs::Counter::new("serve.slo.total");
 /// Admission-to-dispatch wait.
 static QUEUE_US: obs::Histogram = obs::Histogram::new("serve.queue_us");
 /// Admission-to-response-written latency.
 static LATENCY_US: obs::Histogram = obs::Histogram::new("serve.latency_us");
+
+/// Stable Chrome-trace tracks for the daemon's long-lived threads
+/// ([`obs::set_service_thread`] slots).
+const TRACK_DISPATCH: u64 = 0;
+const TRACK_WATCHDOG: u64 = 1;
+const TRACK_ACCEPT: u64 = 2;
 
 fn register_counters() {
     for c in [
@@ -66,9 +94,29 @@ fn register_counters() {
         &REJECTED_DRAINING,
         &SHED,
         &BAD_LINES,
+        &OPS,
+        &SLO_GOOD,
+        &SLO_TOTAL,
     ] {
         c.register();
     }
+}
+
+/// `good / total`, with an empty window scoring a perfect 1.0 (no
+/// requests means no missed objective).
+fn slo_attainment(good: u64, total: u64) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        good as f64 / total as f64
+    }
+}
+
+/// Error-budget burn rate: the fraction of the budget being spent,
+/// normalized so 1.0 = exactly sustainable. `target` is clamped away
+/// from 1.0 so a (misconfigured) zero-width budget cannot divide by zero.
+fn slo_burn_rate(attainment: f64, target: f64) -> f64 {
+    (1.0 - attainment) / (1.0 - target).max(1e-9)
 }
 
 /// What the drain writes to `serve-drain.json` — the server's closing
@@ -102,16 +150,72 @@ pub struct DrainSummary {
     pub index_shards: u64,
     /// Entries across those shards.
     pub index_entries: u64,
+    /// Access-log lines flushed to `serve-access.jsonl`.
+    pub access_log_lines: u64,
+    /// The latency objective the run was held to (`MICA_SERVE_SLO_MS`).
+    pub slo_ms: u64,
+    /// The attainment objective (`MICA_SERVE_SLO_TARGET`).
+    pub slo_target: f64,
+    /// Answered requests that met the objective (`ok` within `slo_ms`).
+    pub slo_good: u64,
+    /// Data-plane answers measured against the objective. Refusals and
+    /// bad lines are admission outcomes, not answers; `ops` scrapes are
+    /// the measurement plane — all three are excluded.
+    pub slo_total: u64,
+    /// `slo_good / slo_total` over the whole run (1.0 when nothing was
+    /// answered).
+    pub slo_attainment: f64,
+    /// `(1 − attainment) / (1 − target)`; above 1.0 the error budget is
+    /// being spent faster than the objective sustains.
+    pub slo_burn_rate: f64,
     /// Server uptime in seconds.
     pub wall_s: f64,
     /// The same provenance block every `ok` answer carried.
     pub provenance: Provenance,
 }
 
+/// One line of the JSONL access log (`<results>/serve-access.jsonl`).
+/// Schema-stable: every field always present, derived serde both ways so
+/// `mica-prof slo` and CI validation can round-trip it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessEntry {
+    /// When the response was written, microseconds on the
+    /// [`obs::timestamp_us`] timeline (the same clock the trace spans
+    /// use).
+    pub ts_us: u64,
+    /// The request's correlation id.
+    pub id: String,
+    /// The request's trace id, 16 lowercase hex digits — the same value
+    /// the response echoed and the trace spans carry.
+    pub trace: String,
+    /// Request kind (`table`/`zoo`/`asm`/`ops`), or `invalid` for lines
+    /// that did not parse.
+    pub kind: String,
+    /// Response status written to the client.
+    pub outcome: String,
+    /// Admission-to-dispatch wait (0 for anything never queued).
+    pub queue_wait_us: u64,
+    /// Engine execution time (0 for refusals and ops).
+    pub exec_us: u64,
+    /// Dynamic instructions the answer cost (0 for cache hits, refusals
+    /// and ops).
+    pub fuel: u64,
+    /// Deadline headroom when the response was written, in milliseconds;
+    /// negative means the deadline had already passed (0 for anything
+    /// that never carried a deadline).
+    pub deadline_slack_ms: i64,
+}
+
 /// One admitted request waiting for (or in) execution.
 struct Job {
     req: Request,
+    /// The trace minted for this request at its reader thread; workers
+    /// install it so execution spans parent into the request's trace.
+    ctx: obs::TraceContext,
     admitted: Instant,
+    /// `admitted` on the span timeline, so the synthetic `request` and
+    /// `queue` spans line up with the engine's real ones.
+    admitted_us: u64,
     deadline_at: Instant,
     cancel: Arc<AtomicBool>,
     conn: Arc<Mutex<TcpStream>>,
@@ -152,6 +256,8 @@ struct Stats {
     rejected_draining: AtomicU64,
     bad_lines: AtomicU64,
     drained_in_flight: AtomicU64,
+    slo_good: AtomicU64,
+    slo_total: AtomicU64,
 }
 
 impl Stats {
@@ -167,6 +273,8 @@ impl Stats {
             rejected_draining: AtomicU64::new(0),
             bad_lines: AtomicU64::new(0),
             drained_in_flight: AtomicU64::new(0),
+            slo_good: AtomicU64::new(0),
+            slo_total: AtomicU64::new(0),
         }
     }
 }
@@ -180,6 +288,8 @@ struct Shared {
     cfg: ServeConfig,
     engine: Engine,
     provenance: Provenance,
+    /// Boot instant; `ops` uptime and the drain summary's `wall_s`.
+    started: Instant,
     queue: Mutex<VecDeque<Job>>,
     work_cv: Condvar,
     draining: AtomicBool,
@@ -187,6 +297,24 @@ struct Shared {
     inflight: AtomicUsize,
     watchdog: Watchdog,
     stats: Stats,
+    /// Pre-rendered access-log lines, flushed to `serve-access.jsonl`
+    /// (one atomic write) at drain.
+    access: Mutex<Vec<String>>,
+}
+
+/// Append one line to the in-memory access log (flushed at drain).
+fn log_access(shared: &Shared, entry: &AccessEntry) {
+    let line = serde_json::to_string(entry).expect("AccessEntry serializes");
+    shared.access.lock().expect("access log poisoned").push(line);
+}
+
+/// Signed deadline headroom in milliseconds (negative = already past).
+fn deadline_slack_ms(deadline_at: Instant, now: Instant) -> i64 {
+    if deadline_at >= now {
+        (deadline_at - now).as_millis() as i64
+    } else {
+        -((now - deadline_at).as_millis() as i64)
+    }
 }
 
 /// Process-wide signal flag; [`install_signal_handlers`] points SIGTERM
@@ -250,7 +378,12 @@ fn write_response(conn: &Mutex<TcpStream>, resp: &Response) {
 }
 
 /// Admission: either queue the request or return the rejection to write.
-fn admit(shared: &Arc<Shared>, req: Request, conn: &Arc<Mutex<TcpStream>>) -> Option<Response> {
+fn admit(
+    shared: &Arc<Shared>,
+    req: Request,
+    ctx: obs::TraceContext,
+    conn: &Arc<Mutex<TcpStream>>,
+) -> Option<Response> {
     let id = req.id.clone();
     if shared.draining.load(Ordering::SeqCst) {
         bump(&shared.stats.rejected_draining, &REJECTED_DRAINING);
@@ -264,6 +397,7 @@ fn admit(shared: &Arc<Shared>, req: Request, conn: &Arc<Mutex<TcpStream>>) -> Op
         .unwrap_or(shared.cfg.default_deadline_ms)
         .clamp(1, shared.cfg.max_deadline_ms);
     let admitted = Instant::now();
+    let admitted_us = obs::timestamp_us();
     let deadline_at = admitted + Duration::from_millis(deadline_ms);
 
     let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -288,14 +422,24 @@ fn admit(shared: &Arc<Shared>, req: Request, conn: &Arc<Mutex<TcpStream>>) -> Op
 
     let cancel = Arc::new(AtomicBool::new(false));
     shared.watchdog.register(deadline_at, Arc::clone(&cancel));
-    queue.push_back(Job { req, admitted, deadline_at, cancel, conn: Arc::clone(conn) });
+    queue.push_back(Job {
+        req,
+        ctx,
+        admitted,
+        admitted_us,
+        deadline_at,
+        cancel,
+        conn: Arc::clone(conn),
+    });
     drop(queue);
     bump(&shared.stats.accepted, &ACCEPTED);
     shared.work_cv.notify_one();
     None
 }
 
-/// One connection: read request lines until EOF, admit or reject each.
+/// One connection: read request lines until EOF; each line gets a fresh
+/// [`obs::TraceContext`] (echoed as `trace` in the response), then either
+/// an immediate `ops` answer, an admission rejection, or a queue slot.
 fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
     if stream.set_nonblocking(false).is_err() {
         return;
@@ -313,18 +457,179 @@ fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
+        let ctx = obs::TraceContext::fresh();
+        let trace_hex = ctx.trace_hex();
         match parse_request(&line) {
+            // Control plane: answered right here, never queued, and still
+            // answered mid-drain so `ready` can report the drain itself.
+            Ok(req) if req.kind == RequestKind::Ops => {
+                OPS.incr();
+                let mut resp = handle_ops(&shared, &req);
+                resp.trace = Some(trace_hex.clone());
+                write_response(&conn, &resp);
+                log_access(
+                    &shared,
+                    &AccessEntry {
+                        ts_us: obs::timestamp_us(),
+                        id: req.id,
+                        trace: trace_hex,
+                        kind: "ops".into(),
+                        outcome: resp.status,
+                        queue_wait_us: 0,
+                        exec_us: 0,
+                        fuel: 0,
+                        deadline_slack_ms: 0,
+                    },
+                );
+            }
             Ok(req) => {
-                if let Some(rejection) = admit(&shared, req, &conn) {
+                let kind = req.kind.name();
+                let id = req.id.clone();
+                if let Some(mut rejection) = admit(&shared, req, ctx, &conn) {
+                    rejection.trace = Some(trace_hex.clone());
                     write_response(&conn, &rejection);
+                    log_access(
+                        &shared,
+                        &AccessEntry {
+                            ts_us: obs::timestamp_us(),
+                            id,
+                            trace: trace_hex,
+                            kind: kind.into(),
+                            outcome: rejection.status,
+                            queue_wait_us: 0,
+                            exec_us: 0,
+                            fuel: 0,
+                            deadline_slack_ms: 0,
+                        },
+                    );
                 }
             }
             Err(e) => {
                 bump(&shared.stats.bad_lines, &BAD_LINES);
-                write_response(&conn, &Response::refusal(&salvage_id(&line), status::ERROR, e));
+                let mut resp = Response::refusal(&salvage_id(&line), status::ERROR, e);
+                resp.trace = Some(trace_hex.clone());
+                write_response(&conn, &resp);
+                log_access(
+                    &shared,
+                    &AccessEntry {
+                        ts_us: obs::timestamp_us(),
+                        id: resp.id,
+                        trace: trace_hex,
+                        kind: "invalid".into(),
+                        outcome: resp.status,
+                        queue_wait_us: 0,
+                        exec_us: 0,
+                        fuel: 0,
+                        deadline_slack_ms: 0,
+                    },
+                );
             }
         }
     }
+}
+
+/// Answer one control-plane (`ops`) query. Reads shared state and the
+/// process-wide metric registry; never touches the queue.
+fn handle_ops(shared: &Shared, req: &Request) -> Response {
+    let op = req.op.as_deref().unwrap_or("health");
+    let payload = match op {
+        "health" => Some(format!("{{\"status\":\"ok\",\"uptime_s\":{:.3}}}", shared.started.elapsed().as_secs_f64())),
+        // `ready` answers `ok` with a boolean payload (instead of a
+        // `draining` refusal) so retrying clients never back off on it.
+        "ready" => {
+            Some(format!("{{\"ready\":{}}}", !shared.draining.load(Ordering::SeqCst)))
+        }
+        "stats" => Some(stats_text(shared)),
+        "metrics" => Some(metrics_text(shared)),
+        _ => None,
+    };
+    match payload {
+        Some(text) => Response {
+            id: req.id.clone(),
+            status: status::OK.to_string(),
+            error: None,
+            retry_after_ms: None,
+            result: None,
+            provenance: None,
+            trace: None,
+            ops: Some(text),
+        },
+        None => Response::refusal(
+            &req.id,
+            status::ERROR,
+            format!("unknown ops op {op:?} (want health, ready, metrics or stats)"),
+        ),
+    }
+}
+
+/// The `stats` ops payload: a compact JSON object of live load state and
+/// last-window SLO standing.
+fn stats_text(shared: &Shared) -> String {
+    let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+    let inflight = shared.inflight.load(Ordering::Relaxed);
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let good = SLO_GOOD.windowed();
+    let total = SLO_TOTAL.windowed();
+    let attainment = slo_attainment(good, total);
+    let burn = slo_burn_rate(attainment, shared.cfg.slo_target);
+    format!(
+        "{{\"queue_depth\":{queue_depth},\"inflight\":{inflight},\"draining\":{draining},\
+\"window_ms\":{},\"accepted_1m\":{},\"ok_1m\":{},\"shed_1m\":{},\
+\"rejected_overloaded_1m\":{},\"rejected_draining_1m\":{},\
+\"slo_ms\":{},\"slo_target\":{},\"slo_good_1m\":{good},\"slo_total_1m\":{total},\
+\"slo_attainment_1m\":{attainment},\"slo_burn_rate_1m\":{burn}}}",
+        obs::window_span_ms(),
+        ACCEPTED.windowed(),
+        OK.windowed(),
+        SHED.windowed(),
+        REJECTED_OVERLOADED.windowed(),
+        REJECTED_DRAINING.windowed(),
+        shared.cfg.slo_ms,
+        shared.cfg.slo_target,
+    )
+}
+
+/// The `metrics` ops payload: a plain-text exposition of every registered
+/// counter (lifetime and last-window values) and histogram (count / mean /
+/// p50 / p99 upper bounds), prefixed with the provenance fingerprints so a
+/// scrape is attributable to the table and profile set that produced it.
+fn metrics_text(shared: &Shared) -> String {
+    let mut out = String::new();
+    out.push_str("# mica-serve metrics\n");
+    out.push_str(&format!(
+        "# provenance table_fingerprint={} profile_fingerprint={}\n",
+        shared.provenance.table_fingerprint, shared.provenance.profile_fingerprint
+    ));
+    out.push_str(&format!("# window_ms {}\n", obs::window_span_ms()));
+    let windowed: std::collections::BTreeMap<String, u64> =
+        obs::counters_windowed().into_iter().collect();
+    for (name, total) in obs::counters() {
+        let metric = name.replace('.', "_");
+        out.push_str(&format!("{metric}_total {total}\n"));
+        out.push_str(&format!("{metric}_1m {}\n", windowed.get(&name).copied().unwrap_or(0)));
+    }
+    for snap in obs::histograms() {
+        let metric = snap.name.replace('.', "_");
+        out.push_str(&format!("{metric}_count {}\n", snap.count));
+        out.push_str(&format!("{metric}_mean {}\n", snap.mean()));
+        out.push_str(&format!("{metric}_p50 {}\n", snap.quantile_upper_bound(0.5)));
+        out.push_str(&format!("{metric}_p99 {}\n", snap.quantile_upper_bound(0.99)));
+    }
+    for snap in obs::histograms_windowed() {
+        let metric = snap.name.replace('.', "_");
+        out.push_str(&format!("{metric}_1m_count {}\n", snap.count));
+        out.push_str(&format!("{metric}_1m_p50 {}\n", snap.quantile_upper_bound(0.5)));
+        out.push_str(&format!("{metric}_1m_p99 {}\n", snap.quantile_upper_bound(0.99)));
+    }
+    let good = SLO_GOOD.windowed();
+    let total = SLO_TOTAL.windowed();
+    let attainment = slo_attainment(good, total);
+    out.push_str(&format!("serve_slo_attainment_1m {attainment}\n"));
+    out.push_str(&format!(
+        "serve_slo_burn_rate_1m {}\n",
+        slo_burn_rate(attainment, shared.cfg.slo_target)
+    ));
+    out
 }
 
 /// The dispatcher: pop batches, execute under panic isolation, respond.
@@ -352,19 +657,38 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         };
 
         let outcomes = mica_par::par_map_isolated(&batch, |job| {
-            QUEUE_US.record(job.admitted.elapsed().as_micros() as u64);
-            shared.engine.execute(&job.req, job.deadline_at, &job.cancel, &shared.cfg)
+            // Install the request's context so the engine's spans (and any
+            // nested pool spans) parent into the request's trace, then
+            // backfill the queue wait as a span of that trace.
+            let _ctx = obs::install_context(Some(job.ctx));
+            let wait_us = job.admitted.elapsed().as_micros() as u64;
+            QUEUE_US.record(wait_us);
+            obs::emit_span_record(obs::SpanRecord {
+                ts_us: job.admitted_us,
+                dur_us: wait_us,
+                tid: obs::current_tid(),
+                depth: 0,
+                trace_id: job.ctx.trace_id,
+                span_id: obs::next_span_id(),
+                parent_id: job.ctx.span_id,
+                cat: "serve",
+                name: "queue".into(),
+                attrs: vec![("id", job.req.id.as_str().into())],
+            });
+            let exec_started = Instant::now();
+            let outcome = shared.engine.execute(&job.req, job.deadline_at, &job.cancel, &shared.cfg);
+            (outcome, wait_us, exec_started.elapsed().as_micros() as u64)
         });
 
-        for (job, outcome) in batch.iter().zip(outcomes) {
-            let resp = match outcome {
-                Ok(out) => {
+        for (job, result) in batch.iter().zip(outcomes) {
+            let (resp, queue_wait_us, exec_us) = match result {
+                Ok((out, wait_us, exec_us)) => {
                     match out.status {
                         status::OK => bump(&shared.stats.ok, &OK),
                         status::DEADLINE => bump(&shared.stats.deadline_exceeded, &DEADLINES),
                         _ => bump(&shared.stats.errors, &ERRORS),
                     }
-                    Response {
+                    let resp = Response {
                         id: job.req.id.clone(),
                         status: out.status.to_string(),
                         error: out.error,
@@ -375,19 +699,68 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                         } else {
                             None
                         },
-                    }
+                        trace: Some(job.ctx.trace_hex()),
+                        ops: None,
+                    };
+                    (resp, wait_us, exec_us)
                 }
                 Err(panic) => {
                     bump(&shared.stats.panics, &PANICS);
-                    Response::refusal(
+                    let mut resp = Response::refusal(
                         &job.req.id,
                         status::PANIC,
                         format!("submission quarantined: {}", panic.payload),
-                    )
+                    );
+                    resp.trace = Some(job.ctx.trace_hex());
+                    (resp, 0, 0)
                 }
             };
             write_response(&job.conn, &resp);
-            LATENCY_US.record(job.admitted.elapsed().as_micros() as u64);
+            let latency_us = job.admitted.elapsed().as_micros() as u64;
+            LATENCY_US.record(latency_us);
+
+            // SLO accounting: every data-plane answer counts; good means
+            // `ok` within the latency objective, response write included.
+            bump(&shared.stats.slo_total, &SLO_TOTAL);
+            if resp.status == status::OK && latency_us <= shared.cfg.slo_ms.saturating_mul(1_000) {
+                bump(&shared.stats.slo_good, &SLO_GOOD);
+            }
+
+            // The trace's root: one `request` span covering admission to
+            // response written, with the `queue` and engine spans under it.
+            obs::emit_span_record(obs::SpanRecord {
+                ts_us: job.admitted_us,
+                dur_us: latency_us,
+                tid: obs::current_tid(),
+                depth: 0,
+                trace_id: job.ctx.trace_id,
+                span_id: job.ctx.span_id,
+                parent_id: 0,
+                cat: "serve",
+                name: "request".into(),
+                attrs: vec![
+                    ("id", job.req.id.as_str().into()),
+                    ("kind", job.req.kind.name().into()),
+                    ("outcome", resp.status.as_str().into()),
+                    ("queue_wait_us", queue_wait_us.into()),
+                    ("exec_us", exec_us.into()),
+                ],
+            });
+            let fuel = resp.result.as_ref().map_or(0, |r| r.executed_instructions);
+            log_access(
+                shared,
+                &AccessEntry {
+                    ts_us: obs::timestamp_us(),
+                    id: job.req.id.clone(),
+                    trace: job.ctx.trace_hex(),
+                    kind: job.req.kind.name().into(),
+                    outcome: resp.status.clone(),
+                    queue_wait_us,
+                    exec_us,
+                    fuel,
+                    deadline_slack_ms: deadline_slack_ms(job.deadline_at, Instant::now()),
+                },
+            );
         }
         shared.inflight.fetch_sub(batch.len(), Ordering::SeqCst);
         shared.work_cv.notify_all();
@@ -482,6 +855,7 @@ fn boot_shared(cfg: ServeConfig) -> std::io::Result<Arc<Shared>> {
         cfg,
         engine,
         provenance,
+        started: Instant::now(),
         queue: Mutex::new(VecDeque::new()),
         work_cv: Condvar::new(),
         draining: AtomicBool::new(false),
@@ -489,11 +863,14 @@ fn boot_shared(cfg: ServeConfig) -> std::io::Result<Arc<Shared>> {
         inflight: AtomicUsize::new(0),
         watchdog: Watchdog { entries: Mutex::new(Vec::new()) },
         stats: Stats::new(),
+        access: Mutex::new(Vec::new()),
     }))
 }
 
 fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSummary> {
-    let started = Instant::now();
+    // A stable, named Chrome-trace track for the accept loop (the other
+    // service threads claim theirs when they start).
+    obs::set_service_thread(TRACK_ACCEPT, "mica-serve-accept");
     let mut runner = Runner::new("serve");
     listener.set_nonblocking(true)?;
     obs::info!(
@@ -507,7 +884,10 @@ fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSumma
         let shared = Arc::clone(&shared);
         thread::Builder::new()
             .name("mica-serve-dispatch".into())
-            .spawn(move || dispatch_loop(&shared))
+            .spawn(move || {
+                obs::set_service_thread(TRACK_DISPATCH, "mica-serve-dispatch");
+                dispatch_loop(&shared)
+            })
             .expect("spawn dispatcher")
     };
     let watchdog = {
@@ -515,6 +895,7 @@ fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSumma
         thread::Builder::new()
             .name("mica-serve-watchdog".into())
             .spawn(move || {
+                obs::set_service_thread(TRACK_WATCHDOG, "mica-serve-watchdog");
                 while !shared.done.load(Ordering::SeqCst) {
                     shared.watchdog.sweep(Instant::now());
                     thread::sleep(Duration::from_millis(5));
@@ -523,11 +904,31 @@ fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSumma
             .expect("spawn watchdog")
     };
 
+    // The listener stays open *through* the drain: new data requests are
+    // refused `draining` by the readers, but `ops` scrapes on fresh
+    // connections (`ready` flipping false, final `metrics` pulls) keep
+    // being answered until the last in-flight request finishes — exactly
+    // when an operator most needs the measurement plane.
+    let mut drain_announced = false;
     runner.stage("accept", || {
-        while !shared.draining.load(Ordering::SeqCst) {
+        loop {
             if SIGNALLED.load(Ordering::SeqCst) {
                 shared.draining.store(true, Ordering::SeqCst);
-                break;
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                if !drain_announced {
+                    drain_announced = true;
+                    let backlog = shared.queue.lock().expect("queue poisoned").len();
+                    obs::info!("draining: {backlog} queued, finishing in-flight work");
+                    shared.stats.drained_in_flight.fetch_add(
+                        backlog as u64 + shared.inflight.load(Ordering::SeqCst) as u64,
+                        Ordering::Relaxed,
+                    );
+                }
+                let empty = shared.queue.lock().expect("queue poisoned").is_empty();
+                if empty && shared.inflight.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
             }
             match listener.accept() {
                 Ok((stream, peer)) => {
@@ -550,15 +951,9 @@ fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSumma
         }
     });
 
-    // Drain: admission is closed (readers now answer `draining`); wait for
-    // the queue and in-flight batches, then stop the worker threads.
+    // Drain: admission closed and in-flight work already waited out by the
+    // accept stage above; stop the worker threads.
     runner.stage("drain", || {
-        let backlog = shared.queue.lock().expect("queue poisoned").len();
-        obs::info!("draining: {backlog} queued, finishing in-flight work");
-        shared
-            .stats
-            .drained_in_flight
-            .fetch_add(backlog as u64 + shared.inflight.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
         loop {
             let empty = shared.queue.lock().expect("queue poisoned").is_empty();
             if empty && shared.inflight.load(Ordering::SeqCst) == 0 {
@@ -574,7 +969,27 @@ fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSumma
 
     let (index_shards, index_entries) = runner.stage("flush-index", || shared.engine.flush_index());
 
+    let access_log_lines = runner.stage("flush-access-log", || {
+        let lines = shared.access.lock().expect("access log poisoned");
+        if lines.is_empty() {
+            return 0;
+        }
+        let mut body = lines.join("\n");
+        body.push('\n');
+        let path = mica_experiments::results_dir().join("serve-access.jsonl");
+        if let Err(e) = mica_fault::atomic_write_retry("serve-access", &path, body.as_bytes()) {
+            obs::warn!("cannot write access log {}: {e}", path.display());
+            0
+        } else {
+            obs::info!("access log ({} lines) written to {}", lines.len(), path.display());
+            lines.len() as u64
+        }
+    });
+
     let stats = &shared.stats;
+    let slo_good = stats.slo_good.load(Ordering::Relaxed);
+    let slo_total = stats.slo_total.load(Ordering::Relaxed);
+    let slo_attain = slo_attainment(slo_good, slo_total);
     let summary = DrainSummary {
         accepted: stats.accepted.load(Ordering::Relaxed),
         ok: stats.ok.load(Ordering::Relaxed),
@@ -588,7 +1003,14 @@ fn run(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<DrainSumma
         drained_in_flight: stats.drained_in_flight.load(Ordering::Relaxed),
         index_shards,
         index_entries,
-        wall_s: started.elapsed().as_secs_f64(),
+        access_log_lines,
+        slo_ms: shared.cfg.slo_ms,
+        slo_target: shared.cfg.slo_target,
+        slo_good,
+        slo_total,
+        slo_attainment: slo_attain,
+        slo_burn_rate: slo_burn_rate(slo_attain, shared.cfg.slo_target),
+        wall_s: shared.started.elapsed().as_secs_f64(),
         provenance: shared.provenance.clone(),
     };
     runner.stage("drain-summary", || {
@@ -625,6 +1047,43 @@ mod tests {
     }
 
     #[test]
+    fn slo_math_is_pinned_down() {
+        // Nothing answered = perfect attainment, zero burn.
+        assert_eq!(slo_attainment(0, 0), 1.0);
+        assert_eq!(slo_burn_rate(slo_attainment(0, 0), 0.99), 0.0);
+        assert_eq!(slo_attainment(3, 4), 0.75);
+        // Missing 2% against a 1% budget burns at 2x.
+        assert!((slo_burn_rate(0.98, 0.99) - 2.0).abs() < 1e-6);
+        // A degenerate target of ~1.0 must not divide by zero.
+        assert!(slo_burn_rate(0.5, 1.0 - f64::MIN_POSITIVE).is_finite());
+    }
+
+    #[test]
+    fn deadline_slack_is_signed() {
+        let now = Instant::now();
+        assert!(deadline_slack_ms(now + Duration::from_millis(250), now) >= 249);
+        assert!(deadline_slack_ms(now - Duration::from_millis(250), now) <= -249);
+    }
+
+    #[test]
+    fn access_entry_round_trips() {
+        let entry = AccessEntry {
+            ts_us: 123_456,
+            id: "q7".into(),
+            trace: "00000000deadbeef".into(),
+            kind: "asm".into(),
+            outcome: "deadline".into(),
+            queue_wait_us: 1_500,
+            exec_us: 98_000,
+            fuel: 50_000,
+            deadline_slack_ms: -12,
+        };
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: AccessEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
     fn drain_summary_round_trips() {
         let summary = DrainSummary {
             accepted: 5,
@@ -639,6 +1098,13 @@ mod tests {
             drained_in_flight: 2,
             index_shards: 4,
             index_entries: 7,
+            access_log_lines: 9,
+            slo_ms: 1_000,
+            slo_target: 0.99,
+            slo_good: 3,
+            slo_total: 5,
+            slo_attainment: 0.6,
+            slo_burn_rate: 40.0,
             wall_s: 1.25,
             provenance: Provenance {
                 server: "mica-serve test".into(),

@@ -79,6 +79,8 @@ fn robustness_envelope_end_to_end() {
         fuel_per_ms: 10_000_000,
         slice: 50_000,
         retry_ms: 5,
+        slo_ms: 30_000,
+        slo_target: 0.5,
     };
     mica_fault::plan::clear();
     let handle = spawn(cfg).expect("server boots");
